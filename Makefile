@@ -1,0 +1,38 @@
+# Convenience targets for the reproduction repository.
+
+PY ?= python
+
+.PHONY: install test bench figures figures-full scorecard experiments clean
+
+install:
+	pip install -e .
+
+test:
+	$(PY) -m pytest tests/
+
+bench:
+	$(PY) -m pytest benchmarks/ --benchmark-only
+
+figures:
+	$(PY) -m repro.bench all
+
+figures-full:
+	$(PY) -m repro.bench all --full
+
+scorecard:
+	$(PY) -m repro.bench scorecard
+
+# Snapshot / compare the figure suite (model-development regression aid).
+baseline:
+	$(PY) -m repro.bench.regress save .bench-baseline.json
+
+regress:
+	$(PY) -m repro.bench.regress diff .bench-baseline.json
+
+# Regenerate the paper-vs-measured record from scratch (full sweeps).
+experiments:
+	$(PY) -m repro.bench.experiments_md --full > EXPERIMENTS.md
+
+clean:
+	find . -name __pycache__ -type d -exec rm -rf {} +
+	rm -rf .pytest_cache .benchmarks build *.egg-info src/*.egg-info

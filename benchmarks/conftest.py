@@ -1,0 +1,19 @@
+"""Shared plumbing for the pytest-benchmark harness.
+
+Every benchmark wraps one bench target's ``run(quick=True)``.  The
+simulator is deterministic, so a single round is exact; pedantic mode
+keeps pytest-benchmark from re-running multi-second sweeps.
+"""
+
+import pytest
+
+
+@pytest.fixture()
+def once(benchmark):
+    """Run a callable exactly once under the benchmark clock."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+
+    return _run

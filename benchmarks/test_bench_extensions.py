@@ -1,0 +1,65 @@
+"""Benchmarks for the beyond-the-paper extension experiments."""
+
+import pytest
+
+from repro.bench import ext1_read_mix as ext1
+from repro.bench import ext2_port_scaling as ext2
+
+
+def test_ext1_read_mix(once):
+    fig = once(ext1.run, True)
+    numa = fig.get("+Numa-OPT").values
+    reorder = fig.get("+Reorder-OPT (theta=16)").values
+    gains = [b / a for a, b in zip(numa, reorder)]
+    # The consolidation advantage narrows monotonically as the mix gets
+    # read-heavy, but never inverts.
+    assert gains[0] > 2.0
+    assert gains == sorted(gains, reverse=True)
+    assert all(g >= 0.95 for g in gains)
+    # Throughput itself falls with read share (READ > WRITE latency).
+    assert numa == sorted(numa, reverse=True)
+
+
+def test_ext3_stragglers(once):
+    from repro.bench import ext3_stragglers as ext3
+    fig = once(ext3.run, True)
+    base = fig.get("baseline (stuck behind straggler)").values
+    mitigated = fig.get("rerouted to healthy port").values
+    # The baseline stretches with the slow port; rerouting stays flatter.
+    assert base[-1] > 3.0
+    assert mitigated[-1] < 0.7 * base[-1]
+    assert base == sorted(base)
+
+
+def test_ext4_one_vs_two_sided(once):
+    from repro.bench import ext4_one_vs_two_sided as ext4
+    fig = once(ext4.run, True)
+    one = fig.get("one-sided (NUMA-matched)").values
+    rpc1 = fig.get("RPC, 1 server thread").values
+    rpc4 = fig.get("RPC, 4 server threads").values
+    assert one[-1] > 4 * rpc1[-1]      # the Section I premise, strongly
+    assert one[-1] > 1.5 * rpc4[-1]    # even vs 4 burned cores
+    # RPC-1 pinned at the service rate.
+    assert max(rpc1) < 1.5
+
+
+def test_ext5_replication(once):
+    from repro.bench import ext5_replication as ext5
+    fig = once(ext5.run, True)
+    sync = fig.get("incremental sync (ms)").values
+    # Sync cost grows with the dirty fraction, roughly proportionally.
+    assert sync == sorted(sync)
+    assert sync[-1] > 20 * sync[0]
+    recovery = fig.series[1].values
+    # Recovery runs near wire speed (5 B/ns raw) at large chunks.
+    assert recovery[-1] > 3.5
+
+
+def test_ext2_port_scaling(once):
+    fig = once(ext2.run, True)
+    writes = fig.get("inbound 64 B writes").values
+    atomics = fig.get("same-word FAA").values
+    # Near-linear write scaling with port count...
+    assert writes[-1] / writes[0] == pytest.approx(4.0, rel=0.2)
+    # ...while same-word atomics stay pinned at the word-lock rate.
+    assert atomics[-1] / atomics[0] < 1.2

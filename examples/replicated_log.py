@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Scenario III — replication to remote memory for reliability.
+
+The distributed log (Section IV-E): transaction engines reserve
+consecutive space in the log node's memory with one RDMA fetch-and-add,
+then write their records one-sidedly.  Shows the batching win of Fig 19
+and verifies the log's total order and exactly-once tiling.
+
+Run:  python examples/replicated_log.py
+"""
+
+from collections import Counter
+
+from repro import build
+from repro.apps.dlog import DistributedLog, LogConfig, TransactionEngine
+from repro.sim.stats import mops
+
+
+def run_config(batch: int, numa: bool, n_engines: int = 7,
+               appends: int = 20) -> float:
+    sim, cluster, ctx = build(machines=8)
+    cfg = LogConfig(batch=batch, numa=numa, move_data=False,
+                    capacity_records=1 << 18)
+    log = DistributedLog(ctx, machine=0, config=cfg)
+    engines = [TransactionEngine(log, i, 1 + i // 2, i % 2)
+               for i in range(n_engines)]
+    t0 = sim.now
+
+    def client(eng):
+        for _ in range(appends):
+            yield from eng.append_batch()
+
+    procs = [sim.process(client(e)) for e in engines]
+    for p in procs:
+        sim.run(until=p)
+    return mops(sum(e.appended for e in engines), sim.now - t0)
+
+
+def verify_ordering() -> None:
+    sim, cluster, ctx = build(machines=4)
+    cfg = LogConfig(batch=4, numa=False)   # one sub-log: global total order
+    log = DistributedLog(ctx, machine=0, config=cfg)
+    engines = [TransactionEngine(log, i, 1 + i, 0) for i in range(3)]
+
+    def client(eng):
+        for _ in range(5):
+            yield from eng.append_batch()
+
+    procs = [sim.process(client(e)) for e in engines]
+    for p in procs:
+        sim.run(until=p)
+    records = log.scan(0)
+    assert [seq for _, seq in records] == list(range(len(records)))
+    shares = Counter(e for e, _ in records)
+    print(f"  ordering check: {len(records)} records, densely sequenced "
+          f"0..{len(records) - 1}, per-engine shares {dict(shares)}")
+
+
+def main() -> None:
+    print("== distributed log: one-sided FAA-reserve + RDMA-write append ==")
+    for batch in (1, 8, 32):
+        aware = run_config(batch, numa=True)
+        naive = run_config(batch, numa=False)
+        print(f"  batch={batch:<3} NUMA-aware {aware:6.2f} MOPS | "
+              f"naive {naive:6.2f} MOPS")
+    b1 = run_config(1, True)
+    b32 = run_config(32, True)
+    print(f"  batching gain (7 engines, 1 -> 32): {b32 / b1:.1f}x "
+          "(paper: ~9.1x)")
+    print("\n== correctness: total order and exactly-once space tiling ==")
+    verify_ordering()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Scenario II — remote memory replaces local disk for intermediate data.
+
+Runs the push-based distributed shuffle (Section IV-C) with each batching
+strategy, verifying exactly-once delivery byte-for-byte, then the
+distributed join (Section IV-D) built on it, checking the result against
+a reference join and scaling the measured time to paper-sized inputs.
+
+Run:  python examples/shuffle_join_pipeline.py
+"""
+
+from repro import build
+from repro.apps.join import DistributedJoin, JoinConfig, single_machine_join_ns
+from repro.apps.shuffle import DistributedShuffle, ShuffleConfig
+
+
+def shuffle_demo() -> None:
+    print("== distributed shuffle: 8 executors, all-to-all ==")
+    for strategy, batch in (("basic", 1), ("sgl", 16), ("sp", 16)):
+        sim, cluster, ctx = build(machines=8)
+        cfg = ShuffleConfig(strategy=strategy, batch_size=batch, numa=True,
+                            move_data=True)
+        shuffle = DistributedShuffle(ctx, 8, cfg,
+                                     entries_per_executor=512, seed=1)
+        result = shuffle.run()
+        # Spot-verify a lane: everything executor 3 sent to executor 5.
+        sent = shuffle.executors[3].stream
+        dests = sent.destinations(8)
+        expect = [(int(sent.keys[e]), int(sent.values[e]) & (2**62 - 1))
+                  for e in range(len(sent)) if dests[e] == 5]
+        got = shuffle.delivered_entries(5, 3)
+        assert got == expect, "delivery mismatch!"
+        label = f"{strategy}(batch={batch})"
+        print(f"  {label:<18} {result.mops:6.1f} MOPS entries, "
+              f"{result.rdma_writes:5d} RDMA writes, lane 3->5 verified "
+              f"({len(got)} entries)")
+
+
+def join_demo() -> None:
+    print("\n== distributed join: partition (RDMA) + build-probe ==")
+    sim, cluster, ctx = build(machines=8)
+    cfg = JoinConfig(executors=8, batch=16, numa=True)
+    join = DistributedJoin(ctx, cfg, tuples_per_relation=4096, seed=2)
+    result = join.run()
+    assert result.matches == join.reference_matches()
+    print(f"  sample run : {result.matches} matches (exact vs reference), "
+          f"partition {result.partition_ns / 1e6:.2f} ms + "
+          f"build-probe {result.build_probe_ns / 1e6:.2f} ms")
+    target = 1 << 24
+    est = result.estimate_time_ns(target) / 1e9
+    single = single_machine_join_ns(target, target) / 1e9
+    print(f"  at 2^24 tuples/relation: distributed {est:.2f} s vs "
+          f"single-machine {single:.2f} s -> {single / est:.1f}x "
+          "(paper: ~5.3x at full optimization)")
+
+
+def main() -> None:
+    shuffle_demo()
+    join_demo()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,28 @@
+"""The paper's four case-study applications (Section IV).
+
+* :mod:`repro.apps.hashtable` — disaggregated hashtable (scenario I:
+  remote memory as a cache/store behind compute front-ends);
+* :mod:`repro.apps.shuffle` — distributed shuffle (scenario II: remote
+  memory replaces local disk for intermediate data);
+* :mod:`repro.apps.join` — distributed join built on the shuffle;
+* :mod:`repro.apps.dlog` — distributed log (scenario III: replication
+  to remote memory for reliability).
+"""
+
+from repro.apps.hashtable import DisaggregatedHashTable, FrontEnd, HashTableBackend
+from repro.apps.shuffle import DistributedShuffle, ShuffleConfig
+from repro.apps.join import DistributedJoin, JoinConfig
+from repro.apps.dlog import DistributedLog, LogConfig, TransactionEngine
+
+__all__ = [
+    "DisaggregatedHashTable",
+    "DistributedJoin",
+    "DistributedLog",
+    "DistributedShuffle",
+    "FrontEnd",
+    "HashTableBackend",
+    "JoinConfig",
+    "LogConfig",
+    "ShuffleConfig",
+    "TransactionEngine",
+]

@@ -1,0 +1,13 @@
+"""Distributed log (Section IV-E, Fig 19).
+
+An append-only, totally ordered sequence of transaction records in the
+log node's memory.  The whole logging path is one-sided: a transaction
+engine reserves consecutive space with RDMA fetch-and-add (the remote
+sequencer), then RDMA-writes its records into the reserved range — no
+log-node CPU involvement, no conflicts between engines by construction.
+"""
+
+from repro.apps.dlog.log import DistributedLog, LogConfig
+from repro.apps.dlog.engine import TransactionEngine
+
+__all__ = ["DistributedLog", "LogConfig", "TransactionEngine"]

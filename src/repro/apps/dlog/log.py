@@ -1,0 +1,91 @@
+"""The global log: reserved space + record layout on the log node.
+
+Record format (``record_bytes``, default 512):
+
+    [ engine: 8 B | sequence: 8 B | body ... ]
+
+NUMA placement (Section IV-E "NUMA-awareness"):
+
+* naive (``numa=False``): one log region on socket 0 with one head
+  counter — inbound DMAs arriving via port 1 cross QPI on the log node;
+* NUMA-aware (``numa=True``): the log is striped into one sub-log per
+  socket, each with its own head counter, and every engine appends to the
+  sub-log matching its port.  Each sub-log stays totally ordered and
+  socket-affine; a global order is recovered by (sub-log, sequence).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.verbs import MemoryRegion, RdmaContext
+
+__all__ = ["DistributedLog", "LogConfig"]
+
+RECORD_HEADER_BYTES = 16
+
+
+@dataclass
+class LogConfig:
+    record_bytes: int = 512
+    capacity_records: int = 1 << 16     # per sub-log
+    numa: bool = True
+    batch: int = 1                      # records reserved+written per append
+    #: Gather strategy for batched appends.  "sgl" (the paper's choice for
+    #: the log): records are named by SGEs and only alt-socket records are
+    #: coalesced through the NUMA-friendly staging buffer; "sp": the CPU
+    #: gathers everything through staging.
+    strategy: str = "sgl"
+    move_data: bool = True
+
+    def __post_init__(self) -> None:
+        if self.record_bytes < RECORD_HEADER_BYTES:
+            raise ValueError(
+                f"records need a {RECORD_HEADER_BYTES} B header")
+        if self.record_bytes % 8:
+            raise ValueError("record size must be 8-byte aligned")
+        if self.capacity_records < 1:
+            raise ValueError("capacity must be >= 1")
+        if self.batch < 1:
+            raise ValueError("batch must be >= 1")
+        if self.strategy not in ("sp", "sgl"):
+            raise ValueError(f"unknown strategy: {self.strategy!r}")
+
+
+class DistributedLog:
+    """The log node's registered state: sub-log(s) + head counter(s)."""
+
+    def __init__(self, ctx: RdmaContext, machine: int, config: LogConfig):
+        self.ctx = ctx
+        self.machine = machine
+        self.config = config
+        sockets = ctx.params.sockets_per_machine
+        self.n_sublogs = sockets if config.numa else 1
+        size = config.capacity_records * config.record_bytes
+        self.log_mrs: list[MemoryRegion] = []
+        self.head_mrs: list[MemoryRegion] = []
+        for s in range(self.n_sublogs):
+            socket = s if config.numa else 0
+            self.log_mrs.append(ctx.register(machine, size, socket=socket))
+            self.head_mrs.append(ctx.register(machine, 4096, socket=socket))
+
+    def sublog_for_socket(self, engine_socket: int) -> int:
+        """Which sub-log an engine on ``engine_socket`` appends to."""
+        return engine_socket % self.n_sublogs if self.config.numa else 0
+
+    # -- inspection (verification helpers, log-node local) -----------------
+    def head(self, sublog: int = 0) -> int:
+        """Records reserved so far in a sub-log."""
+        return self.head_mrs[sublog].read_u64(0)
+
+    def record(self, sublog: int, seq: int) -> tuple[int, int, bytes]:
+        """(engine, sequence, body) of one record."""
+        rb = self.config.record_bytes
+        raw = self.log_mrs[sublog].read(seq * rb, rb)
+        return (int.from_bytes(raw[0:8], "little"),
+                int.from_bytes(raw[8:16], "little"),
+                raw[RECORD_HEADER_BYTES:])
+
+    def scan(self, sublog: int = 0) -> list[tuple[int, int]]:
+        """(engine, sequence) of every record up to the head."""
+        return [self.record(sublog, s)[:2] for s in range(self.head(sublog))]

@@ -1,0 +1,28 @@
+"""Disaggregated hashtable (Section IV-B, Figs 11-13).
+
+Request processing (front-ends) and storage (back-end) are decoupled;
+front-ends reach the back-end exclusively through one-sided RDMA.  The
+step-by-step optimizations of the paper are selectable per front-end:
+
+1. *NUMA-awareness*: socket-matched QPs (with the proxy-socket router as
+   the general mechanism) so no transaction crosses QPI;
+2. *IO consolidation*: hot entries live in a block-organized hot area;
+   front-ends absorb writes locally and flush whole blocks after theta
+   modifications (remote burst buffer);
+3. *Atomic operations*: per-block remote spinlocks with exponential
+   backoff coordinate flushes; cold entries carry embedded versions.
+"""
+
+from repro.apps.hashtable.layout import ENTRY_BYTES, TableLayout
+from repro.apps.hashtable.backend import HashTableBackend
+from repro.apps.hashtable.frontend import FrontEnd, FrontEndConfig
+from repro.apps.hashtable.hashtable import DisaggregatedHashTable
+
+__all__ = [
+    "ENTRY_BYTES",
+    "DisaggregatedHashTable",
+    "FrontEnd",
+    "FrontEndConfig",
+    "HashTableBackend",
+    "TableLayout",
+]

@@ -1,0 +1,134 @@
+"""Table layout: entry format, socket striping, hot-block addressing.
+
+Entry format (64 bytes, the paper's value size):
+
+    [ key: 8 B | version: 8 B | value: 48 B ]
+
+Keys are popularity ranks (0 = hottest), which both the Zipf workload and
+the hot-area split use directly.  Entries stripe across back-end sockets
+by ``key % sockets`` so each socket-matched port serves its own half; hot
+blocks stripe the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ENTRY_BYTES", "KEY_OFF", "VERSION_OFF", "VALUE_OFF", "VALUE_BYTES",
+           "TableLayout", "pack_entry", "unpack_entry"]
+
+ENTRY_BYTES = 64
+KEY_OFF = 0
+VERSION_OFF = 8
+VALUE_OFF = 16
+VALUE_BYTES = ENTRY_BYTES - VALUE_OFF
+
+
+def pack_entry(key: int, version: int, value: bytes) -> bytes:
+    """Serialize one entry; the value is zero-padded to 48 bytes."""
+    if len(value) > VALUE_BYTES:
+        raise ValueError(f"value of {len(value)} B exceeds {VALUE_BYTES} B")
+    return (key.to_bytes(8, "little") + version.to_bytes(8, "little")
+            + value.ljust(VALUE_BYTES, b"\x00"))
+
+
+def unpack_entry(raw: bytes) -> tuple[int, int, bytes]:
+    """(key, version, value) from 64 raw bytes."""
+    if len(raw) != ENTRY_BYTES:
+        raise ValueError(f"entry must be {ENTRY_BYTES} B, got {len(raw)}")
+    return (int.from_bytes(raw[0:8], "little"),
+            int.from_bytes(raw[8:16], "little"),
+            raw[VALUE_OFF:])
+
+
+@dataclass(frozen=True)
+class TableLayout:
+    """Address arithmetic for the striped cold table + block-organized hot
+    area + per-block lock words."""
+
+    n_keys: int
+    hot_keys: int                 # the hot area holds ranks [0, hot_keys)
+    sockets: int = 2
+    block_entries: int = 16       # 2^t entries per hot block (1 KB blocks)
+
+    def __post_init__(self) -> None:
+        if self.n_keys < 1:
+            raise ValueError("n_keys must be >= 1")
+        if not 0 <= self.hot_keys <= self.n_keys:
+            raise ValueError("hot_keys must be in [0, n_keys]")
+        if self.sockets < 1:
+            raise ValueError("sockets must be >= 1")
+        if self.block_entries < 1 or self.block_entries & (self.block_entries - 1):
+            raise ValueError("block_entries must be a power of two")
+
+    # -- cold table ----------------------------------------------------------
+    def cold_socket(self, key: int) -> int:
+        self._check_key(key)
+        return key % self.sockets
+
+    def cold_offset(self, key: int) -> int:
+        """Byte offset within the key's socket region."""
+        self._check_key(key)
+        return (key // self.sockets) * ENTRY_BYTES
+
+    def cold_region_bytes(self, socket: int) -> int:
+        keys_on = len(range(socket, self.n_keys, self.sockets))
+        return max(1, keys_on) * ENTRY_BYTES
+
+    # -- hot area --------------------------------------------------------------
+    @property
+    def block_bytes(self) -> int:
+        return self.block_entries * ENTRY_BYTES
+
+    @property
+    def n_blocks(self) -> int:
+        return -(-self.hot_keys // self.block_entries)
+
+    def is_hot(self, key: int) -> bool:
+        self._check_key(key)
+        return key < self.hot_keys
+
+    def hot_block(self, key: int) -> int:
+        """Hot keys stripe ACROSS blocks ("according to the value of an
+        entry's key") so the hottest keys — and their flush locks — spread
+        over many blocks instead of piling onto one."""
+        if not self.is_hot(key):
+            raise ValueError(f"key {key} is not hot")
+        return key % self.n_blocks
+
+    def hot_slot(self, key: int) -> int:
+        if not self.is_hot(key):
+            raise ValueError(f"key {key} is not hot")
+        return key // self.n_blocks
+
+    def block_socket(self, block: int) -> int:
+        self._check_block(block)
+        return block % self.sockets
+
+    def block_offset(self, block: int) -> int:
+        """Byte offset of a block within its socket's hot region."""
+        self._check_block(block)
+        return (block // self.sockets) * self.block_bytes
+
+    def hot_region_bytes(self, socket: int) -> int:
+        blocks_on = len(range(socket, self.n_blocks, self.sockets))
+        return max(1, blocks_on) * self.block_bytes
+
+    # -- lock words ---------------------------------------------------------------
+    def lock_offset(self, block: int) -> int:
+        """Offset of a block's lock word within its socket's lock region."""
+        self._check_block(block)
+        return (block // self.sockets) * 8
+
+    def lock_region_bytes(self, socket: int) -> int:
+        blocks_on = len(range(socket, self.n_blocks, self.sockets))
+        return max(8, blocks_on * 8)
+
+    # -- validation -----------------------------------------------------------------
+    def _check_key(self, key: int) -> None:
+        if not 0 <= key < self.n_keys:
+            raise ValueError(f"key {key} out of range [0, {self.n_keys})")
+
+    def _check_block(self, block: int) -> None:
+        if not 0 <= block < self.n_blocks:
+            raise ValueError(f"block {block} out of range [0, {self.n_blocks})")

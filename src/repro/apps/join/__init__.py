@@ -1,0 +1,14 @@
+"""Distributed join (Section IV-D, Figs 16-18).
+
+Partition phase: both relations are shuffled across executors by key hash
+(push-based, SGL-batched RDMA writes).  Build-probe phase: each executor
+builds a concurrent hash map over its inner partition and probes it with
+its outer partition (the paper uses Intel TBB ``concurrent_hash_map``;
+we model its per-op cost and keep a real dict for correctness).
+"""
+
+from repro.apps.join.hashmap import ConcurrentHashMap
+from repro.apps.join.join import DistributedJoin, JoinConfig, JoinResult, single_machine_join_ns
+
+__all__ = ["ConcurrentHashMap", "DistributedJoin", "JoinConfig", "JoinResult",
+           "single_machine_join_ns"]

@@ -1,0 +1,177 @@
+"""The distributed equi-join: partition (RDMA shuffle) + build-probe.
+
+``run`` drives the full pipeline in the simulator and returns per-phase
+timings and the exact match count; ``estimate_time_ns`` scales the
+measured steady-state rates to paper-sized inputs (2^24..2^26 tuples),
+which is how the Fig 16/17 benches avoid simulating 16 M tuples one by
+one (documented in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+import numpy as np
+
+from repro.apps.join.hashmap import ConcurrentHashMap
+from repro.apps.shuffle.shuffle import DistributedShuffle, ShuffleConfig
+from repro.verbs import RdmaContext, Worker
+from repro.workloads.stream import KvStream
+from repro.workloads.tables import Relation, generate_relation
+
+__all__ = ["DistributedJoin", "JoinConfig", "JoinResult",
+           "single_machine_join_ns"]
+
+#: Per-tuple CPU cost of the partition loop on one core (hash + cursor),
+#: excluding communication.  Shared with the single-machine baseline.
+PARTITION_CPU_NS = 50.0
+
+
+def single_machine_join_ns(n_inner: int, n_outer: int,
+                           threads: int = 1) -> float:
+    """Analytic cost of the standalone (non-RDMA) join.
+
+    Partition both relations locally, build over inner, probe with outer;
+    phases parallelize near-linearly over ``threads`` with the TBB-style
+    striping penalty.  Calibrated against the paper's 6.46 s standalone
+    run on 2x16 M tuples.
+    """
+    if n_inner < 1 or n_outer < 1 or threads < 1:
+        raise ValueError("sizes and threads must be >= 1")
+    from repro.apps.join.hashmap import INSERT_NS, PROBE_NS, THREAD_PENALTY_NS
+    penalty = (threads - 1) * THREAD_PENALTY_NS
+    partition = (n_inner + n_outer) * PARTITION_CPU_NS
+    build = n_inner * (INSERT_NS + penalty)
+    probe = n_outer * (PROBE_NS + penalty)
+    return (partition + build + probe) / threads
+
+
+@dataclass
+class JoinConfig:
+    """theta executors, lambda batch size (the paper's Fig 16 notation)."""
+
+    executors: int = 4
+    batch: int = 16
+    strategy: str = "sgl"         # the paper's choice for join (IV-D)
+    numa: bool = True
+    move_data: bool = False       # timing-only partition by default
+
+    def shuffle_config(self) -> ShuffleConfig:
+        strategy = self.strategy if self.batch > 1 else "basic"
+        return ShuffleConfig(
+            strategy=strategy, batch_size=self.batch if self.batch > 1 else 1,
+            numa=self.numa, entry_bytes=16, move_data=self.move_data)
+
+
+@dataclass
+class JoinResult:
+    elapsed_ns: float
+    partition_ns: float
+    build_probe_ns: float
+    matches: int
+    tuples_per_relation: int
+
+    def estimate_time_ns(self, target_tuples: int) -> float:
+        """Scale the measured run to ``target_tuples`` per relation."""
+        if target_tuples < 1:
+            raise ValueError("target must be >= 1")
+        return self.elapsed_ns * target_tuples / self.tuples_per_relation
+
+
+class DistributedJoin:
+    """Equi-join of two relations over ``config.executors`` executors."""
+
+    def __init__(self, ctx: RdmaContext, config: JoinConfig,
+                 inner: Optional[Relation] = None,
+                 outer: Optional[Relation] = None,
+                 tuples_per_relation: int = 8192, seed: int = 0):
+        self.ctx = ctx
+        self.config = config
+        self.inner = inner if inner is not None else generate_relation(
+            tuples_per_relation, key_space=tuples_per_relation, seed=seed)
+        self.outer = outer if outer is not None else generate_relation(
+            tuples_per_relation, key_space=tuples_per_relation,
+            seed=seed + 1)
+        if len(self.inner) != len(self.outer):
+            raise ValueError("relations must be the same size (as in Fig 16)")
+        n = config.executors
+        # Each executor owns a contiguous slice of each relation and sizes
+        # its stream buffer for the larger phase.
+        per_exec = -(-len(self.inner) // n)
+        self.shuffle = DistributedShuffle(
+            ctx, n, config.shuffle_config(),
+            entries_per_executor=per_exec, seed=seed)
+        self._slices_inner = self._slice(self.inner, n)
+        self._slices_outer = self._slice(self.outer, n)
+        # A build-probe worker per executor, co-located with it.
+        self.maps = [ConcurrentHashMap() for _ in range(n)]
+
+    @staticmethod
+    def _slice(rel: Relation, n: int) -> list[tuple[np.ndarray, np.ndarray]]:
+        idx = np.array_split(np.arange(len(rel)), n)
+        return [(rel.keys[i], rel.payloads[i]) for i in idx]
+
+    def _streams(self, slices) -> list[KvStream]:
+        return [KvStream.from_arrays(k, v, entry_bytes=16)
+                for k, v in slices]
+
+    def reference_matches(self) -> int:
+        """Exact join cardinality, computed directly (ground truth)."""
+        counts: dict[int, int] = {}
+        for k in self.inner.keys:
+            counts[int(k)] = counts.get(int(k), 0) + 1
+        return sum(counts.get(int(k), 0) for k in self.outer.keys)
+
+    # ---------------------------------------------------------------- phases
+    def _partition_of(self, rel: Relation, executor: int) -> tuple:
+        dests = rel.partition(self.config.executors)
+        mask = dests == executor
+        return rel.keys[mask], rel.payloads[mask]
+
+    def run(self) -> JoinResult:
+        """Execute partition then build-probe; returns timings + matches."""
+        sim = self.ctx.sim
+        t0 = sim.now
+        # Partition phase: shuffle inner, then outer (two waves of RDMA).
+        self.shuffle.set_streams(self._streams(self._slices_inner))
+        self.shuffle.run()
+        self.shuffle.set_streams(self._streams(self._slices_outer))
+        self.shuffle.run()
+        t_partition = sim.now - t0
+        # Build-probe phase: all executors in parallel on their partitions.
+        matches = [0] * self.config.executors
+        t1 = sim.now
+
+        def build_probe(e: int) -> Generator:
+            ex = self.shuffle.executors[e]
+            cmap = self.maps[e]
+            cmap.register_thread()
+            # NUMA-oblivious placement: the shuffled partition landed on
+            # the executor's alternate socket, so every tuple touch pays
+            # the remote-socket DRAM gap (Table II: ~3.7/2.27 bandwidth).
+            scale = 1.0
+            if ex.inbound_mr.socket != ex.socket:
+                p = self.ctx.params
+                scale = 1 + 0.6 * (p.dram_local_bw_Bns / p.dram_remote_bw_Bns
+                                   - 1)
+            ik, iv = self._partition_of(self.inner, e)
+            ok_, _ = self._partition_of(self.outer, e)
+            if len(ik):
+                yield from cmap.insert_many(ex.worker, ik, iv, scale=scale)
+            if len(ok_):
+                matches[e] = yield from cmap.probe_many(ex.worker, ok_,
+                                                        scale=scale)
+            cmap.unregister_thread()
+
+        procs = [sim.process(build_probe(e), name=f"bp{e}")
+                 for e in range(self.config.executors)]
+        for p in procs:
+            sim.run(until=p)
+        t_bp = sim.now - t1
+        return JoinResult(
+            elapsed_ns=sim.now - t0,
+            partition_ns=t_partition,
+            build_probe_ns=t_bp,
+            matches=sum(matches),
+            tuples_per_relation=len(self.inner))

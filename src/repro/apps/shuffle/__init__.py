@@ -1,0 +1,17 @@
+"""Distributed shuffle (Section IV-C, Figs 14-15).
+
+A push-based all-to-all shuffle: n executors partition their key-value
+streams by a hash rule and RDMA-WRITE each entry to its destination
+executor's inbound region ("in-bound RDMA Write has higher performance
+than out-bound RDMA Read").  Batching strategy, batch size, and NUMA
+placement are configurable — the Fig 15 curves are five configs of the
+same engine.
+"""
+
+from repro.apps.shuffle.shuffle import (
+    DistributedShuffle,
+    ShuffleConfig,
+    ShuffleResult,
+)
+
+__all__ = ["DistributedShuffle", "ShuffleConfig", "ShuffleResult"]

@@ -1,0 +1,287 @@
+"""The shuffle engine.
+
+Layout: executor *i* serializes its stream into a local registered buffer
+(entry *e* at offset ``e * entry_bytes``).  Executor *j* allocates an
+inbound region with one disjoint lane per source executor, so concurrent
+writers never conflict and delivery is verifiable byte-for-byte.
+
+Strategies (Section IV-C "Batch Schedule"):
+
+* ``basic``   — each entry is written immediately (one sync RDMA write);
+* ``sp``      — same-destination entries are gathered by the CPU into a
+  staging buffer and written as one WR when the batch fills (extra copy);
+* ``sgl``     — the entries' *addresses* are organized as one WR with a
+  scatter/gather list: no copy, no extra CPU, one round trip.
+
+"Atomic operation": on completion each executor FAAs a stage counter on
+the coordinator so next-stage executors can observe progress (one-sided
+verbs are invisible to the receiver's CPU).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+import numpy as np
+
+from repro.core.batching import BatchEntry, make_batcher
+from repro.sim.stats import mops
+from repro.verbs import MemoryRegion, QueuePair, RdmaContext, Worker
+from repro.workloads.stream import KvStream
+
+__all__ = ["DistributedShuffle", "ShuffleConfig", "ShuffleResult"]
+
+#: CPU cost per entry: hash, rule lookup, cursor bookkeeping.
+SHUFFLE_ENTRY_CPU_NS = 45.0
+
+
+@dataclass
+class ShuffleConfig:
+    strategy: str = "basic"       # "basic" | "sp" | "sgl" | "doorbell"
+    batch_size: int = 1
+    numa: bool = False            # socket-matched ports and inbound regions
+    entry_bytes: int = 64
+    move_data: bool = True        # actually copy bytes (off for big benches)
+
+    def __post_init__(self) -> None:
+        if self.strategy not in ("basic", "sp", "sgl", "doorbell"):
+            raise ValueError(f"unknown strategy: {self.strategy!r}")
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1: {self.batch_size}")
+        if self.strategy == "basic" and self.batch_size != 1:
+            raise ValueError("basic shuffle does not batch")
+        if self.entry_bytes < 16:
+            raise ValueError("entries carry key+value (16 B minimum)")
+
+
+@dataclass
+class ShuffleResult:
+    mops: float
+    entries: int
+    elapsed_ns: float
+    rdma_writes: int
+
+
+class _Executor:
+    """One shuffle executor: a worker, its stream, and its connections."""
+
+    def __init__(self, shuffle: "DistributedShuffle", index: int,
+                 machine: int, socket: int):
+        self.shuffle = shuffle
+        self.index = index
+        self.machine = machine
+        self.socket = socket
+        ctx = shuffle.ctx
+        self.worker = Worker(ctx, machine, socket, name=f"ex{index}")
+        self.stream: Optional[KvStream] = None
+        self.stream_mr: Optional[MemoryRegion] = None
+        self.inbound_mr: Optional[MemoryRegion] = None
+        self.qps: dict[int, QueuePair] = {}       # dest executor -> QP
+        self.staging_mr: Optional[MemoryRegion] = None
+        self.rdma_writes = 0
+        self.sent = 0
+
+    def connect(self) -> None:
+        ctx = self.shuffle.ctx
+        cfg = self.shuffle.config
+        for dst in self.shuffle.executors:
+            if dst.machine == self.machine:
+                continue  # same-machine lanes use local memory, not RDMA
+            if cfg.numa:
+                lp = ctx.cluster[self.machine].port_for_socket(self.socket).index
+                rp = ctx.cluster[dst.machine].port_for_socket(dst.socket).index
+            else:
+                lp = rp = 0
+            self.qps[dst.index] = ctx.create_qp(
+                self.machine, dst.machine, local_port=lp, remote_port=rp,
+                sq_socket=self.socket)
+
+    # -- the per-destination lane in dst's inbound region -----------------
+    def lane_base(self, src_index: int) -> int:
+        return src_index * self.shuffle.lane_bytes
+
+
+class DistributedShuffle:
+    """n executors spread round-robin over machines x sockets."""
+
+    def __init__(self, ctx: RdmaContext, n_executors: int,
+                 config: ShuffleConfig, entries_per_executor: int = 2048,
+                 seed: int = 0):
+        if n_executors < 2:
+            raise ValueError("a shuffle needs at least two executors")
+        self.ctx = ctx
+        self.config = config
+        self.n = n_executors
+        self.entries_per_executor = entries_per_executor
+        n_machines = len(ctx.cluster)
+        sockets = ctx.params.sockets_per_machine
+        if n_executors > n_machines * sockets:
+            raise ValueError(
+                f"{n_executors} executors exceed {n_machines} machines x "
+                f"{sockets} sockets (one executor per socket)")
+        self.executors = [
+            _Executor(self, i, i % n_machines, (i // n_machines) % sockets)
+            for i in range(n_executors)
+        ]
+        # Lane capacity: expected entries per (src, dst) pair with 4x slack.
+        expected = max(1, entries_per_executor // n_executors)
+        self.lane_bytes = 4 * expected * config.entry_bytes
+        for ex in self.executors:
+            if config.numa:
+                # "assign each executor to a dedicated socket with
+                # affinitive memory and RNIC port" (Section IV-C).
+                inbound_socket = stream_socket = ex.socket
+            else:
+                # NUMA-oblivious baseline: buffers land wherever the
+                # allocator put them — half end up on the wrong socket.
+                inbound_socket = stream_socket = (ex.index % sockets) ^ (
+                    1 if sockets > 1 else 0)
+            ex.inbound_mr = ctx.register(
+                ex.machine, self.lane_bytes * n_executors,
+                socket=inbound_socket)
+            ex.stream_mr = ctx.register(
+                ex.machine, entries_per_executor * config.entry_bytes,
+                socket=stream_socket)
+            if config.strategy == "sp":
+                ex.staging_mr = ctx.register(
+                    ex.machine, config.batch_size * config.entry_bytes,
+                    socket=ex.socket)
+        self.set_streams([
+            KvStream(entries_per_executor, entry_bytes=config.entry_bytes,
+                     seed=seed * 1000 + i)
+            for i in range(n_executors)
+        ])
+        for ex in self.executors:
+            ex.connect()
+        # Stage-synchronization counter on the coordinator (executor 0's
+        # machine); remote executors FAA it when done.
+        self.stage_counter = ctx.register(self.executors[0].machine, 4096,
+                                          socket=0)
+
+    def set_streams(self, streams: list[KvStream]) -> None:
+        """Install one stream per executor (the join reuses the engine for
+        each relation's partition phase)."""
+        if len(streams) != self.n:
+            raise ValueError(f"need {self.n} streams, got {len(streams)}")
+        cap = self.entries_per_executor
+        for ex, stream in zip(self.executors, streams):
+            if len(stream) > cap:
+                raise ValueError(
+                    f"stream of {len(stream)} entries exceeds executor "
+                    f"capacity {cap}")
+            if stream.entry_bytes != self.config.entry_bytes:
+                raise ValueError("stream entry size mismatch")
+            ex.stream = stream
+            if self.config.move_data:
+                self._serialize_stream(ex)
+
+    def _serialize_stream(self, ex: _Executor) -> None:
+        entry = np.zeros(self.config.entry_bytes, dtype=np.uint8)
+        for e in range(len(ex.stream)):
+            raw = (int(ex.stream.keys[e]).to_bytes(8, "little")
+                   + int(ex.stream.values[e] & (2**62 - 1)).to_bytes(8, "little"))
+            entry[:16] = np.frombuffer(raw, dtype=np.uint8)
+            ex.stream_mr.write(e * self.config.entry_bytes, entry.tobytes())
+
+    # ------------------------------------------------------------------ run
+    def run(self) -> ShuffleResult:
+        """Drive every executor to completion; returns aggregate MOPS."""
+        sim = self.ctx.sim
+        t0 = sim.now
+        procs = [sim.process(self._drive(ex), name=f"shuffle.ex{ex.index}")
+                 for ex in self.executors]
+        for p in procs:
+            sim.run(until=p)
+        elapsed = sim.now - t0
+        entries = sum(ex.sent for ex in self.executors)
+        return ShuffleResult(
+            mops=mops(entries, elapsed), entries=entries,
+            elapsed_ns=elapsed,
+            rdma_writes=sum(ex.rdma_writes for ex in self.executors))
+
+    def _drive(self, ex: _Executor) -> Generator:
+        cfg = self.config
+        dests = ex.stream.destinations(self.n)
+        cursors = [0] * self.n               # entries sent per destination
+        pending: dict[int, list[int]] = {}   # dst -> entry indices
+        batcher_for: dict[int, object] = {}
+
+        for e in range(len(ex.stream)):
+            yield from ex.worker.compute(SHUFFLE_ENTRY_CPU_NS)
+            dst_idx = int(dests[e])
+            dst = self.executors[dst_idx]
+            if dst.machine == ex.machine:
+                # Same-machine lane: a local memcpy, no RDMA.
+                yield from ex.worker.memcpy(cfg.entry_bytes)
+                if cfg.move_data:
+                    dst.inbound_mr.write(
+                        dst.lane_base(ex.index)
+                        + cursors[dst_idx] * cfg.entry_bytes,
+                        ex.stream_mr.read(e * cfg.entry_bytes,
+                                          cfg.entry_bytes))
+                cursors[dst_idx] += 1
+                ex.sent += 1
+                continue
+            if cfg.strategy == "basic":
+                yield from self._send_one(ex, dst, e, cursors)
+                continue
+            pending.setdefault(dst_idx, []).append(e)
+            if len(pending[dst_idx]) >= cfg.batch_size:
+                yield from self._send_batch(
+                    ex, dst, pending.pop(dst_idx), cursors, batcher_for)
+        # Flush partial batches, then signal stage completion with an FAA.
+        for dst_idx in sorted(pending):
+            if pending[dst_idx]:
+                yield from self._send_batch(
+                    ex, self.executors[dst_idx], pending[dst_idx], cursors,
+                    batcher_for)
+        if self.executors[0].machine != ex.machine:
+            qp = ex.qps[0]
+            yield from ex.worker.faa(qp, self.stage_counter, 0, add=1)
+
+    def _send_one(self, ex: _Executor, dst: _Executor, e: int,
+                  cursors: list[int]) -> Generator:
+        cfg = self.config
+        off = (dst.lane_base(ex.index) + cursors[dst.index] * cfg.entry_bytes)
+        yield from ex.worker.write(
+            ex.qps[dst.index], ex.stream_mr, e * cfg.entry_bytes,
+            dst.inbound_mr, off, cfg.entry_bytes, move_data=cfg.move_data)
+        cursors[dst.index] += 1
+        ex.sent += 1
+        ex.rdma_writes += 1
+
+    def _send_batch(self, ex: _Executor, dst: _Executor, entries: list[int],
+                    cursors: list[int], batcher_for: dict) -> Generator:
+        cfg = self.config
+        key = dst.index
+        if key not in batcher_for:
+            batcher_for[key] = make_batcher(
+                cfg.strategy, ex.worker, ex.qps[dst.index],
+                staging_mr=ex.staging_mr, move_data=cfg.move_data)
+        batcher = batcher_for[key]
+        batch = [BatchEntry(ex.stream_mr, e * cfg.entry_bytes,
+                            cfg.entry_bytes) for e in entries]
+        off = dst.lane_base(ex.index) + cursors[dst.index] * cfg.entry_bytes
+        yield from batcher.write_batch(batch, dst.inbound_mr, off)
+        cursors[dst.index] += len(entries)
+        ex.sent += len(entries)
+        # Doorbell batching still issues one RDMA write per entry; the
+        # single-WR strategies collapse the batch into one.
+        ex.rdma_writes += (len(entries) if cfg.strategy == "doorbell" else 1)
+
+    # -------------------------------------------------------- verification
+    def delivered_entries(self, dst_index: int, src_index: int
+                          ) -> list[tuple[int, int]]:
+        """(key, value) pairs landed in dst's lane from src (move_data)."""
+        dst = self.executors[dst_index]
+        src = self.executors[src_index]
+        dests = src.stream.destinations(self.n)
+        count = int(np.sum(dests == dst_index))
+        out = []
+        base = dst.lane_base(src_index)
+        for i in range(count):
+            raw = dst.inbound_mr.read(base + i * self.config.entry_bytes, 16)
+            out.append((int.from_bytes(raw[:8], "little"),
+                        int.from_bytes(raw[8:16], "little")))
+        return out

@@ -1,0 +1,47 @@
+"""CLI: ``python -m repro.bench <target> [--full]`` or ``repro-bench``.
+
+Targets regenerate the paper's tables and figures; ``all`` runs every one
+of them, ``summary`` reports the headline application speedups.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+import time
+
+from repro.bench import TARGETS
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Regenerate the tables/figures of 'Thinking More "
+                    "about RDMA Memory Semantics' (CLUSTER 2021).")
+    parser.add_argument("target", choices=sorted(TARGETS) + ["all"],
+                        help="which table/figure to regenerate")
+    parser.add_argument("--full", action="store_true",
+                        help="use the paper's full sweep ranges "
+                             "(slower; default is a trimmed quick mode)")
+    parser.add_argument("--plot", action="store_true",
+                        help="also draw the figure as a terminal plot")
+    args = parser.parse_args(argv)
+    targets = sorted(TARGETS) if args.target == "all" else [args.target]
+    for name in targets:
+        module = importlib.import_module(TARGETS[name])
+        t0 = time.time()
+        if args.plot and hasattr(module, "run"):
+            from repro.bench.plot import render
+            fig = module.run(quick=not args.full)
+            print(fig.to_text())
+            print()
+            print(render(fig))
+        else:
+            module.main(quick=not args.full)
+        print(f"[{name} done in {time.time() - t0:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,58 @@
+"""Fig 3 — the three batch strategies vs payload size (batch 4 and 16).
+
+Paper anchors: below ~128 B all cases are flat; beyond, SP/SGL/local fall
+linearly with payload while Doorbell "remains still" (it was never
+round-trip-bound to begin with); SGL's advantage only exists below ~512 B.
+"""
+
+from __future__ import annotations
+
+from repro.bench.report import FigureResult
+from repro.bench.vector_io_common import batched_throughput, local_vector_mops
+
+__all__ = ["run", "main"]
+
+SIZES_FULL = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048]
+SIZES_QUICK = [4, 32, 128, 512, 2048]
+
+
+def run(quick: bool = True) -> FigureResult:
+    sizes = SIZES_QUICK if quick else SIZES_FULL
+    n_batches = 120 if quick else 400
+    fig = FigureResult(
+        name="Fig 3", title="Batch strategies vs payload size (one-to-one)",
+        x_label="Size (Bytes)", x_values=sizes,
+        y_label="Throughput (MOPS, entries)")
+    for batch in (4, 16):
+        for strategy in ("doorbell", "sgl", "sp"):
+            fig.add(f"{strategy.capitalize()}-size-{batch}", [
+                batched_throughput(strategy, batch, s,
+                                   n_batches=n_batches)["mops"]
+                for s in sizes])
+        if batch == 4:
+            fig.add("Local-size-4",
+                    [local_vector_mops("write", batch, s) for s in sizes])
+    small_i = sizes.index(32)
+    big_i = len(sizes) - 1
+    sp16 = fig.get("Sp-size-16").values
+    sgl16 = fig.get("Sgl-size-16").values
+    db16 = fig.get("Doorbell-size-16").values
+    fig.check("SP flat small->128B then falls",
+              f"{sp16[small_i]:.1f} -> {sp16[big_i]:.1f}",
+              "linearly decreasing past 128B")
+    fig.check("Doorbell roughly flat across sizes",
+              f"{db16[small_i]:.1f} -> {db16[big_i]:.1f}",
+              "remains still")
+    fig.check("SGL beats Doorbell at small payloads",
+              f"{sgl16[small_i] / db16[small_i]:.2f}x", ">1x")
+    fig.check("SGL loses its edge past ~512B (vs Doorbell)",
+              f"{sgl16[big_i] / db16[big_i]:.2f}x", "advantage shrinks")
+    return fig
+
+
+def main(quick: bool = True) -> None:
+    print(run(quick).to_text())
+
+
+if __name__ == "__main__":
+    main()

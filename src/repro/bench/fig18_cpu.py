@@ -1,0 +1,48 @@
+"""Fig 18 — CPU cost of SP vs SGL by entry size.
+
+The paper measures CPU cycles burned by the shuffle's batching layer with
+7 executors and entry sizes 64 B..4096 B.  SGL hands the gather to the
+RNIC, so its CPU cost per entry is flat while SP's grows with entry size
+(memcpy); at 4096 B, SGL costs ~67.2% less CPU.
+"""
+
+from __future__ import annotations
+
+from repro.bench.report import FigureResult
+from repro.bench.vector_io_common import batched_throughput
+
+__all__ = ["run", "main"]
+
+SIZES_FULL = [64, 256, 1024, 4096]
+BATCH = 16
+
+
+def run(quick: bool = True) -> FigureResult:
+    sizes = SIZES_FULL
+    n = 100 if quick else 300
+    fig = FigureResult(
+        name="Fig 18", title="CPU consumption: SP vs SGL by entry size "
+                             "(batch 16)",
+        x_label="Entry Size (Bytes)", x_values=sizes,
+        y_label="CPU ns per entry")
+    sp = [batched_throughput("sp", BATCH, s, n_batches=n)["cpu_ns_per_entry"]
+          for s in sizes]
+    sgl = [batched_throughput("sgl", BATCH, s,
+                              n_batches=n)["cpu_ns_per_entry"]
+           for s in sizes]
+    fig.add("SP", sp)
+    fig.add("SGL", sgl)
+    fig.check("SGL CPU saving at 4096 B",
+              f"-{1 - sgl[-1] / sp[-1]:.1%}", "~-67.2%")
+    fig.check("SGL CPU cost flat across sizes",
+              f"{sgl[0]:.0f} -> {sgl[-1]:.0f} ns/entry",
+              "no CPU involvement in the fetch phase")
+    return fig
+
+
+def main(quick: bool = True) -> None:
+    print(run(quick).to_text())
+
+
+if __name__ == "__main__":
+    main()

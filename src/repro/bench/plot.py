@@ -1,0 +1,79 @@
+"""Terminal plotting for FigureResults — the figures, drawn.
+
+Pure-text scatter/line rendering: each series gets a marker; the y-axis
+is linear or log10 (chosen automatically when the data spans decades,
+matching the paper's log-scale plots like Fig 10a).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.bench.report import FigureResult
+
+__all__ = ["render", "MARKERS"]
+
+MARKERS = "ox+*#@%&sdv^"
+
+
+def render(fig: FigureResult, width: int = 68, height: int = 18,
+           log_y: bool | None = None) -> str:
+    """Plot every series of ``fig`` into a text canvas."""
+    if not fig.series:
+        raise ValueError("nothing to plot")
+    if width < 20 or height < 6:
+        raise ValueError("canvas too small")
+    ys = [v for s in fig.series for v in s.values if not math.isnan(v)]
+    positive = [v for v in ys if v > 0]
+    lo, hi = min(ys), max(ys)
+    if log_y is None:
+        log_y = bool(positive) and min(positive) > 0 and \
+            hi / max(min(positive), 1e-12) > 100 and lo > 0
+
+    def transform(v: float) -> float:
+        return math.log10(v) if log_y else v
+
+    t_lo = transform(lo if not log_y else min(positive))
+    t_hi = transform(hi)
+    if t_hi <= t_lo:
+        t_hi = t_lo + 1.0
+    n_x = len(fig.x_values)
+    grid = [[" "] * width for _ in range(height)]
+    # x positions spread evenly (categorical axis, as in the paper's plots)
+    xs = [int(round(i * (width - 1) / max(1, n_x - 1))) for i in range(n_x)]
+    for si, series in enumerate(fig.series):
+        marker = MARKERS[si % len(MARKERS)]
+        for i, v in enumerate(series.values):
+            if log_y and v <= 0:
+                continue
+            frac = (transform(v) - t_lo) / (t_hi - t_lo)
+            row = height - 1 - int(round(frac * (height - 1)))
+            row = min(max(row, 0), height - 1)
+            col = xs[i]
+            grid[row][col] = marker if grid[row][col] == " " else "?"
+    # y-axis labels
+    lines = [f"{fig.name}: {fig.title}  (y: {fig.y_label}"
+             f"{', log scale' if log_y else ''})"]
+    for r, row in enumerate(grid):
+        frac = (height - 1 - r) / (height - 1)
+        t_val = t_lo + frac * (t_hi - t_lo)
+        val = 10 ** t_val if log_y else t_val
+        label = f"{val:9.3g} |"
+        lines.append(label + "".join(row))
+    axis = " " * 10 + "+" + "-" * width
+    lines.append(axis)
+    # x labels: first, middle, last
+    xl = [str(fig.x_values[0]), str(fig.x_values[n_x // 2]),
+          str(fig.x_values[-1])]
+    pad = " " * 11
+    ruler = list(pad + " " * width)
+    for label, pos in zip(xl, (xs[0], xs[n_x // 2], xs[-1])):
+        start = min(11 + pos, len(ruler) - len(label))
+        for k, ch in enumerate(label):
+            ruler[start + k] = ch
+    lines.append("".join(ruler))
+    lines.append(" " * 11 + f"x: {fig.x_label}")
+    legend = "   ".join(f"{MARKERS[i % len(MARKERS)]} {s.label}"
+                        for i, s in enumerate(fig.series))
+    lines.append("legend: " + legend)
+    return "\n".join(lines)

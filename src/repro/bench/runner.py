@@ -1,0 +1,99 @@
+"""Shared measurement machinery for the bench targets."""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Optional
+
+from repro import build
+from repro.hw import HardwareParams
+from repro.sim import Event, Simulator
+from repro.sim.stats import mops
+from repro.verbs import Opcode, QueuePair, RdmaContext, Sge, Worker, WorkRequest
+
+__all__ = ["PipelinedClient", "drive_all", "fresh_rig", "measure_clients"]
+
+
+def fresh_rig(machines: int = 2, params: Optional[HardwareParams] = None,
+              mr_bytes: int = 1 << 20, mr_socket: int = 0):
+    """(sim, ctx, local_mr, remote_mr, qp, worker) — the one-to-one setup
+    most micro-benchmarks start from."""
+    sim, cluster, ctx = build(machines=machines, params=params)
+    lmr = ctx.register(0, mr_bytes, socket=mr_socket)
+    rmr = ctx.register(1, mr_bytes, socket=mr_socket)
+    qp = ctx.create_qp(0, 1)
+    worker = Worker(ctx, 0, socket=0)
+    return sim, ctx, lmr, rmr, qp, worker
+
+
+def drive_all(sim: Simulator, gens: list[Generator]) -> None:
+    """Run a set of client generators to completion."""
+    procs = [sim.process(g) for g in gens]
+    for p in procs:
+        sim.run(until=p)
+
+
+class PipelinedClient:
+    """Closed-loop client keeping ``depth`` WRs in flight on one QP.
+
+    ``wr_factory(i)`` builds the i-th work request.  Steady-state MOPS is
+    measured after ``warmup`` completions.
+    """
+
+    def __init__(self, worker: Worker, qp: QueuePair,
+                 wr_factory: Callable[[int], WorkRequest], depth: int = 16):
+        if depth < 1:
+            raise ValueError(f"depth must be >= 1: {depth}")
+        self.worker = worker
+        self.qp = qp
+        self.wr_factory = wr_factory
+        self.depth = depth
+        self.completed = 0
+        self.t_start: Optional[float] = None
+        self.t_end: Optional[float] = None
+        self.measured_ops = 0
+
+    def run(self, n_ops: int, warmup: int = 200) -> Generator:
+        sim = self.worker.sim
+        inflight: list[Event] = []
+        total = n_ops + warmup
+        for i in range(total):
+            if len(inflight) >= self.depth:
+                yield from self.worker.wait(inflight.pop(0))
+                self._complete(warmup)
+            ev = yield from self.worker.post(self.qp, self.wr_factory(i))
+            inflight.append(ev)
+        for ev in inflight:
+            yield from self.worker.wait(ev)
+            self._complete(warmup)
+        self.t_end = sim.now
+
+    def _complete(self, warmup: int) -> None:
+        self.completed += 1
+        if self.completed == warmup:
+            self.t_start = self.worker.sim.now
+        elif self.completed > warmup:
+            self.measured_ops += 1
+
+    @property
+    def mops(self) -> float:
+        if self.t_start is None or self.t_end is None:
+            return 0.0
+        return mops(self.measured_ops, self.t_end - self.t_start)
+
+
+def measure_clients(sim: Simulator, clients: list[PipelinedClient],
+                    n_ops: int, warmup: int = 200) -> float:
+    """Drive several clients concurrently; returns their aggregate MOPS."""
+    drive_all(sim, [c.run(n_ops, warmup) for c in clients])
+    return sum(c.mops for c in clients)
+
+
+def write_wr(lmr, rmr, size: int, offset: int = 0) -> WorkRequest:
+    """A timing-only WRITE work request (the micro-benchmark staple)."""
+    return WorkRequest(Opcode.WRITE, sgl=[Sge(lmr, offset, size)],
+                       remote_mr=rmr, remote_offset=offset, move_data=False)
+
+
+def read_wr(lmr, rmr, size: int, offset: int = 0) -> WorkRequest:
+    return WorkRequest(Opcode.READ, sgl=[Sge(lmr, offset, size)],
+                       remote_mr=rmr, remote_offset=offset, move_data=False)

@@ -1,0 +1,41 @@
+"""Table II — local vs remote socket DRAM latency/bandwidth (Intel MLC).
+
+Paper anchors: 92 ns / 3.70 GB/s local socket; 162 ns / 2.27 GB/s remote
+socket (the remote access is 43%/63% worse in latency/bandwidth... i.e.
++76% latency, -39% bandwidth as printed in the table).
+"""
+
+from __future__ import annotations
+
+from repro.bench.report import FigureResult
+from repro.hw import HardwareParams
+from repro.hw.dram import DramModel
+from repro.hw.numa import NumaTopology
+
+__all__ = ["run", "main"]
+
+
+def run(quick: bool = True) -> FigureResult:
+    p = HardwareParams()
+    dram = DramModel(p, NumaTopology(p))
+    local_lat, local_bw = dram.mlc_probe(0, 0)
+    remote_lat, remote_bw = dram.mlc_probe(0, 1)
+    fig = FigureResult(
+        name="Table II", title="Local vs remote socket DRAM (MLC probe)",
+        x_label="Type", x_values=["local socket", "remote socket"],
+        y_label="Latency (ns) / Bandwidth (GB/s)")
+    fig.add("Latency (ns)", [local_lat, remote_lat])
+    fig.add("Bandwidth (GB/s)", [local_bw, remote_bw])
+    fig.check("local socket", f"{local_lat:.0f} ns / {local_bw:.2f} GB/s",
+              "92 ns / 3.70 GB/s")
+    fig.check("remote socket", f"{remote_lat:.0f} ns / {remote_bw:.2f} GB/s",
+              "162 ns / 2.27 GB/s")
+    return fig
+
+
+def main(quick: bool = True) -> None:
+    print(run(quick).to_text())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,222 @@
+"""The paper's optimization guidelines, executable.
+
+Feed :class:`Advisor` a :class:`WorkloadProfile`; it returns ranked
+:class:`Recommendation` objects — which technique to apply, why (with the
+paper section it comes from), and a model-predicted gain computed from the
+same :class:`~repro.hw.params.HardwareParams` the simulator runs on.
+
+This is deliberately the "guidelines" contribution of the paper turned
+into an API: the rules below are the discussion paragraphs of
+Sections III-A..III-E made checkable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.hw.params import HardwareParams
+
+__all__ = ["Advisor", "Recommendation", "WorkloadProfile", "VECTOR_IO_TABLE"]
+
+
+#: Table I — qualitative comparison of the three vector IO mechanisms.
+VECTOR_IO_TABLE = {
+    "Doorbell": {"programmability": "good", "performance": "low",
+                 "scalability": "poor"},
+    "SP": {"programmability": "poor", "performance": "high",
+           "scalability": "good"},
+    "SGL": {"programmability": "moderate", "performance": "high",
+            "scalability": "good in a small range"},
+}
+
+
+@dataclass
+class WorkloadProfile:
+    """What the advisor needs to know about an application's remote accesses."""
+
+    #: Typical payload per operation, bytes.
+    payload_bytes: int = 64
+    #: How many ops are naturally batchable together (1 = none).
+    batchable: int = 1
+    #: Do batched ops target one contiguous remote region?
+    same_destination: bool = False
+    #: Fraction of writes hitting a small hot set (0 = uniform).
+    hot_fraction: float = 0.0
+    #: Ops to one hot block that could be merged (theta candidate).
+    mergeable_per_block: int = 1
+    #: Total registered remote memory the workload touches, bytes.
+    registered_bytes: int = 1 << 20
+    #: "seq" or "rand" remote access pattern.
+    access_pattern: str = "seq"
+    #: Machines have multiple sockets and socket-affine ports?
+    numa_aware_possible: bool = True
+    #: Does the app currently cross sockets on either side?
+    crosses_sockets: bool = False
+    #: Concurrent writers needing mutual exclusion or sequencing.
+    contenders: int = 1
+    #: Read share of the op mix, 0..1.
+    read_ratio: float = 0.0
+    #: Can the app tolerate bounded staleness on hot data?
+    staleness_tolerant: bool = False
+
+    def validate(self) -> None:
+        if self.payload_bytes <= 0:
+            raise ValueError("payload_bytes must be positive")
+        if self.batchable < 1 or self.mergeable_per_block < 1:
+            raise ValueError("batchable/mergeable counts must be >= 1")
+        if not 0 <= self.hot_fraction <= 1:
+            raise ValueError("hot_fraction must be in [0, 1]")
+        if not 0 <= self.read_ratio <= 1:
+            raise ValueError("read_ratio must be in [0, 1]")
+        if self.access_pattern not in ("seq", "rand"):
+            raise ValueError("access_pattern must be 'seq' or 'rand'")
+        if self.contenders < 1:
+            raise ValueError("contenders must be >= 1")
+
+
+@dataclass
+class Recommendation:
+    """One piece of advice, ranked by predicted gain."""
+
+    technique: str
+    predicted_speedup: float
+    rationale: str
+    paper_section: str
+    details: dict = field(default_factory=dict)
+
+    def __str__(self) -> str:  # pragma: no cover - presentation
+        return (f"[{self.predicted_speedup:4.1f}x] {self.technique}: "
+                f"{self.rationale} (Section {self.paper_section})")
+
+
+class Advisor:
+    """Rule engine over the hardware cost model."""
+
+    def __init__(self, params: Optional[HardwareParams] = None):
+        self.params = params or HardwareParams()
+
+    # -- individual rules ----------------------------------------------------
+    def _op_cost_ns(self, payload: int) -> float:
+        """Approximate per-op requester occupancy (the throughput limiter)."""
+        p = self.params
+        return max(p.exec_write_ns, p.wire_time(payload))
+
+    def _vector_io(self, w: WorkloadProfile) -> Optional[Recommendation]:
+        if w.batchable < 2 or not w.same_destination:
+            return None
+        p = self.params
+        k = min(w.batchable, p.max_sge)
+        single = k * self._op_cost_ns(w.payload_bytes)
+        batched_sgl = (self._op_cost_ns(k * w.payload_bytes)
+                       + (k - 1) * p.sge_overhead_ns)
+        gather = k * (p.memcpy_base_ns + w.payload_bytes * p.memcpy_per_byte_ns)
+        batched_sp = max(self._op_cost_ns(k * w.payload_bytes), gather)
+        if w.payload_bytes <= 512:
+            best, kind = min((batched_sp, "SP"), (batched_sgl, "SGL"))
+        else:
+            best, kind = batched_sp, "SP"
+        gain = single / best
+        if gain <= 1.05:
+            return None
+        return Recommendation(
+            technique=f"vector IO ({kind})",
+            predicted_speedup=round(gain, 2),
+            rationale=(
+                f"{k} small writes share one wire slot; {kind} turns "
+                f"{k} round trips into one"
+                + ("; SGL keeps the CPU out of the gather" if kind == "SGL"
+                   else "; SP's CPU gather wins at this size/batch")),
+            paper_section="III-A",
+            details={"batch": k, "table_I": VECTOR_IO_TABLE[kind]})
+
+    def _consolidation(self, w: WorkloadProfile) -> Optional[Recommendation]:
+        if (w.hot_fraction < 0.3 or w.mergeable_per_block < 2
+                or not w.staleness_tolerant):
+            return None
+        theta = w.mergeable_per_block
+        # Hot traffic collapses by theta; cold traffic is unchanged.
+        hot, cold = w.hot_fraction, 1 - w.hot_fraction
+        gain = 1 / (cold + hot / theta)
+        if gain <= 1.05:
+            return None
+        return Recommendation(
+            technique="IO consolidation",
+            predicted_speedup=round(gain, 2),
+            rationale=(
+                f"{hot:.0%} of writes hit hot blocks; delaying until "
+                f"theta={theta} merges them into one RDMA op each "
+                "(remote burst buffer)"),
+            paper_section="III-C",
+            details={"theta": theta})
+
+    def _access_pattern(self, w: WorkloadProfile) -> Optional[Recommendation]:
+        p = self.params
+        coverage = p.translation_cache_entries * p.translation_page_bytes
+        if w.access_pattern != "rand" or w.registered_bytes <= coverage:
+            return None
+        base = self._op_cost_ns(w.payload_bytes)
+        rand = base + 2 * p.sram_miss_penalty_ns  # both-side misses
+        gain = rand / base
+        return Recommendation(
+            technique="sequential layout",
+            predicted_speedup=round(gain, 2),
+            rationale=(
+                f"random access over {w.registered_bytes >> 20} MiB "
+                f"(> {coverage >> 20} MiB SRAM coverage) misses the RNIC "
+                "translation cache almost every op; lay data out for "
+                "sequential access or shrink the touched window"),
+            paper_section="III-B",
+            details={"sram_coverage_bytes": coverage})
+
+    def _numa(self, w: WorkloadProfile) -> Optional[Recommendation]:
+        if not (w.numa_aware_possible and w.crosses_sockets):
+            return None
+        p = self.params
+        lat = 1160.0  # small-op end-to-end baseline
+        worst = lat + 3 * p.qpi_hop_ns  # MMIO + local DMA + remote DMA
+        gain = worst / lat
+        return Recommendation(
+            technique="NUMA-aware placement (proxy socket)",
+            predicted_speedup=round(gain, 2),
+            rationale=(
+                "bind each QP, its buffers and the remote window to the "
+                "port's socket; route unmatched requests through the proxy "
+                "socket instead of paying QPI on every transaction"),
+            paper_section="III-D / IV-B",
+            details={"qpi_hop_ns": p.qpi_hop_ns})
+
+    def _atomics(self, w: WorkloadProfile) -> Optional[Recommendation]:
+        if w.contenders < 2:
+            return None
+        p = self.params
+        atomic_rate = 1000.0 / p.exec_atomic_ns
+        rpc_rate = 1000.0 / (2 * p.rpc_service_ns)
+        gain = atomic_rate / rpc_rate
+        rec = Recommendation(
+            technique="one-sided atomics (+ exponential backoff)",
+            predicted_speedup=round(gain, 2),
+            rationale=(
+                f"{w.contenders} contenders: RDMA CAS/FAA avoids the remote "
+                "CPU entirely and out-rates an RPC service; add exponential "
+                "backoff beyond ~8 contenders to avoid the contention "
+                "collapse"),
+            paper_section="III-E",
+            details={"atomic_mops": round(atomic_rate, 2),
+                     "rpc_mops": round(rpc_rate, 2),
+                     "use_backoff": w.contenders > 8})
+        return rec
+
+    # -- entry point -------------------------------------------------------------
+    def advise(self, workload: WorkloadProfile) -> list[Recommendation]:
+        """All applicable recommendations, best predicted gain first."""
+        workload.validate()
+        recs = [r for r in (
+            self._vector_io(workload),
+            self._consolidation(workload),
+            self._access_pattern(workload),
+            self._numa(workload),
+            self._atomics(workload),
+        ) if r is not None]
+        recs.sort(key=lambda r: r.predicted_speedup, reverse=True)
+        return recs

@@ -1,0 +1,202 @@
+"""Vector IO: the three batch strategies of Algorithm 1 (Section III-A).
+
+All three deliver ``k`` small buffers to one remote region; they differ in
+*who gathers* and *what is saved*:
+
+========  =======================  ==========================  ============
+Strategy  Gather done by           Saves                        Cost moved to
+========  =======================  ==========================  ============
+SP        CPU (memcpy to staging)  N-1 network round trips      host memory bw
+Doorbell  nobody (k separate WRs)  k-1 MMIOs only               RNIC exec unit
+SGL       RNIC (scatter/gather)    N-1 round trips + memcpys    per-SGE DMA
+========  =======================  ==========================  ============
+
+Table I's programmability/performance/scalability comparison follows from
+these mechanics; ``bench.table1_vector_io`` derives it from measurements.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Generator
+
+from repro.verbs import MemoryRegion, Opcode, QueuePair, Sge, Worker, WorkRequest
+
+__all__ = [
+    "BatchEntry",
+    "BatchStrategy",
+    "DoorbellBatcher",
+    "SglBatcher",
+    "SpBatcher",
+    "make_batcher",
+]
+
+
+@dataclass(frozen=True)
+class BatchEntry:
+    """One small buffer to deliver: a slice of a local MR."""
+
+    mr: MemoryRegion
+    offset: int
+    length: int
+
+    def as_sge(self) -> Sge:
+        return Sge(self.mr, self.offset, self.length)
+
+
+class BatchStrategy(abc.ABC):
+    """Delivers a batch of local entries to a contiguous remote region.
+
+    ``post`` is asynchronous: it charges the CPU-side cost to ``worker``
+    and returns the completion events, enabling pipelined (queue-depth > 1)
+    clients.  ``write_batch`` is the synchronous convenience wrapper.
+    """
+
+    name: str = "abstract"
+
+    def __init__(self, worker: Worker, qp: QueuePair,
+                 move_data: bool = True):
+        self.worker = worker
+        self.qp = qp
+        self.move_data = move_data
+        self.batches = 0
+        self.entries = 0
+
+    @abc.abstractmethod
+    def post(self, entries: list[BatchEntry], remote_mr: MemoryRegion,
+             remote_offset: int) -> Generator:
+        """Charge CPU cost and hand the batch to hardware.
+
+        Returns (via StopIteration value) the list of completion events.
+        """
+
+    def write_batch(self, entries: list[BatchEntry], remote_mr: MemoryRegion,
+                    remote_offset: int) -> Generator:
+        """Synchronously deliver one batch; returns the completions."""
+        events = yield from self.post(entries, remote_mr, remote_offset)
+        completions = []
+        for ev in events:
+            completions.append((yield from self.worker.wait(ev)))
+        return completions
+
+    def _account(self, entries: list[BatchEntry]) -> None:
+        if not entries:
+            raise ValueError("empty batch")
+        self.batches += 1
+        self.entries += len(entries)
+
+
+class SpBatcher(BatchStrategy):
+    """SP — redesigned Software Protocol (Algorithm 1, lines 1-5).
+
+    The CPU memcpys every entry into a registered staging buffer, then
+    posts ONE work request covering the whole gathered payload.  Exploits
+    packet throttling: k small writes cost the same wire occupancy as one
+    k-times-larger write, so latency drops from N RTTs to ~1 RTT — at the
+    price of CPU gather cycles and poor programmability.
+    """
+
+    name = "SP"
+
+    def __init__(self, worker: Worker, qp: QueuePair,
+                 staging_mr: MemoryRegion, move_data: bool = True):
+        super().__init__(worker, qp, move_data)
+        if staging_mr.machine_id != worker.machine_id:
+            raise ValueError("staging buffer must be local to the worker")
+        self.staging_mr = staging_mr
+
+    def post(self, entries: list[BatchEntry], remote_mr: MemoryRegion,
+             remote_offset: int) -> Generator:
+        self._account(entries)
+        total = sum(e.length for e in entries)
+        if total > self.staging_mr.size:
+            raise ValueError(
+                f"batch of {total} B exceeds staging buffer "
+                f"({self.staging_mr.size} B)")
+        # CPU gather: memcpy each entry into the staging buffer.
+        cursor = 0
+        for e in entries:
+            yield from self.worker.memcpy(
+                e.length, src_socket=e.mr.socket,
+                dst_socket=self.staging_mr.socket)
+            if self.move_data:
+                self.staging_mr.write(cursor, e.mr.read(e.offset, e.length))
+            cursor += e.length
+        wr = WorkRequest(
+            Opcode.WRITE, sgl=[Sge(self.staging_mr, 0, total)],
+            remote_mr=remote_mr, remote_offset=remote_offset,
+            move_data=self.move_data)
+        ev = yield from self.worker.post(self.qp, wr)
+        return [ev]
+
+
+class DoorbellBatcher(BatchStrategy):
+    """Doorbell batching (Algorithm 1, lines 6-10), after Kalia et al.
+
+    k work requests are chained and the doorbell is rung once: the CPU
+    saves k-1 MMIOs and the RNIC fetches the WQE list in one DMA.  Network
+    round trips are NOT reduced — every entry still occupies the execution
+    unit — which is why its throughput stays low and flat (Fig 4/5).
+    """
+
+    name = "Doorbell"
+
+    def post(self, entries: list[BatchEntry], remote_mr: MemoryRegion,
+             remote_offset: int) -> Generator:
+        self._account(entries)
+        wrs = []
+        cursor = 0
+        for i, e in enumerate(entries):
+            wrs.append(WorkRequest(
+                Opcode.WRITE, wr_id=i, sgl=[e.as_sge()],
+                remote_mr=remote_mr, remote_offset=remote_offset + cursor,
+                move_data=self.move_data,
+                signaled=(i == len(entries) - 1)))
+            cursor += e.length
+        events = yield from self.worker.post_batch(self.qp, wrs)
+        return events
+
+
+class SglBatcher(BatchStrategy):
+    """SGL — scatter/gather list (Algorithm 1, lines 11-15).
+
+    One WR whose SGL names all k source buffers; the RNIC gathers them over
+    PCIe (one TLP per element) and emits a single RDMA op to one remote
+    address.  One MMIO, one DMA, one round trip — no CPU gather — but each
+    SGE costs the RNIC a descriptor walk, so it degrades for large batches
+    and payloads (high performance only below ~512 B, Section III-A).
+    """
+
+    name = "SGL"
+
+    def post(self, entries: list[BatchEntry], remote_mr: MemoryRegion,
+             remote_offset: int) -> Generator:
+        self._account(entries)
+        max_sge = self.worker.params.max_sge
+        if len(entries) > max_sge:
+            raise ValueError(
+                f"SGL batch of {len(entries)} exceeds hardware max_sge "
+                f"{max_sge}")
+        wr = WorkRequest(
+            Opcode.WRITE, sgl=[e.as_sge() for e in entries],
+            remote_mr=remote_mr, remote_offset=remote_offset,
+            move_data=self.move_data)
+        ev = yield from self.worker.post(self.qp, wr)
+        return [ev]
+
+
+def make_batcher(kind: str, worker: Worker, qp: QueuePair,
+                 staging_mr: MemoryRegion | None = None,
+                 move_data: bool = True) -> BatchStrategy:
+    """Factory: ``kind`` in {"sp", "doorbell", "sgl"}."""
+    kind = kind.lower()
+    if kind == "sp":
+        if staging_mr is None:
+            raise ValueError("SP requires a staging MR")
+        return SpBatcher(worker, qp, staging_mr, move_data)
+    if kind == "doorbell":
+        return DoorbellBatcher(worker, qp, move_data)
+    if kind == "sgl":
+        return SglBatcher(worker, qp, move_data)
+    raise ValueError(f"unknown batch strategy: {kind!r}")

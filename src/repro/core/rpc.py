@@ -1,0 +1,130 @@
+"""Two-sided Send/Recv RPC substrate (the paper's comparison baseline).
+
+Channel-semantic verbs keep the remote CPU in the loop: a server thread
+polls a receive queue shared across all client QPs, spends
+``rpc_service_ns`` per request, and sends the response back on a
+server-to-client QP.  This is the "RPC-based" configuration of Fig 10 and
+the shape of Herd/FaSST-style designs the paper contrasts with one-sided
+memory semantics.
+
+Handlers are generator functions ``handler(body, request)`` driven inside
+the server loop; they may respond by returning a value, or *defer* (return
+:data:`DEFER`) and respond later via :meth:`RpcServer.respond` — which is
+how the RPC lock server parks contending lock requests.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, Optional
+
+from repro.sim import Interrupt, Store
+from repro.verbs import QueuePair, RdmaContext, Worker
+
+__all__ = ["DEFER", "RpcChannel", "RpcRequest", "RpcServer"]
+
+#: Sentinel a handler returns to take ownership of responding later.
+DEFER = object()
+
+_req_ids = itertools.count(1)
+
+
+@dataclass
+class RpcRequest:
+    """A request as seen by a server handler."""
+
+    req_id: int
+    body: Any
+    reply_qp: QueuePair
+    reply_bytes: int = 32
+
+
+class RpcServer:
+    """One server thread on (machine, socket) draining a shared inbox."""
+
+    def __init__(self, ctx: RdmaContext, machine: int, socket: int = 0,
+                 service_ns: Optional[float] = None, name: str = ""):
+        self.ctx = ctx
+        self.sim = ctx.sim
+        self.machine = machine
+        self.socket = socket
+        self.name = name or f"rpc.m{machine}.s{socket}"
+        self.service_ns = (ctx.params.rpc_service_ns
+                           if service_ns is None else service_ns)
+        self.inbox = Store(self.sim, name=f"{self.name}.inbox")
+        self.worker = Worker(ctx, machine, socket, name=self.name)
+        self.requests_served = 0
+        self._loop = None
+
+    # -- connection management ------------------------------------------------
+    def connect(self, client_machine: int, client_socket: int = 0,
+                client_port: int = 0, server_port: int = 0) -> "RpcChannel":
+        """Create the QP pair for one client and return its channel."""
+        c2s = self.ctx.create_qp(
+            client_machine, self.machine, local_port=client_port,
+            remote_port=server_port, sq_socket=client_socket,
+            recv_queue=self.inbox)
+        s2c = self.ctx.create_qp(
+            self.machine, client_machine, local_port=server_port,
+            remote_port=client_port, sq_socket=self.socket)
+        return RpcChannel(self, c2s, s2c)
+
+    # -- serving ---------------------------------------------------------------
+    def start(self, handler: Callable[[Any, RpcRequest], Generator]) -> None:
+        """Spawn the server loop with ``handler``."""
+        if self._loop is not None:
+            raise RuntimeError(f"{self.name} already started")
+        self._loop = self.sim.process(self._serve(handler), name=self.name)
+
+    def stop(self) -> None:
+        if self._loop is not None:
+            self._loop.interrupt("stop")
+            self._loop = None
+
+    def _serve(self, handler) -> Generator:
+        try:
+            while True:
+                completion = yield self.inbox.get()
+                request: RpcRequest = completion.value
+                yield from self.worker.compute(self.service_ns)
+                result = handler(request.body, request)
+                if hasattr(result, "send"):  # generator handler
+                    result = yield from result
+                self.requests_served += 1
+                if result is not DEFER:
+                    yield from self.respond(request, result)
+        except Interrupt:
+            return
+
+    def respond(self, request: RpcRequest, value: Any) -> Generator:
+        """Send a (possibly deferred) response back to the caller.
+
+        Posted asynchronously: the server thread pays the post cost but
+        does not stall on the wire round trip.
+        """
+        yield from self.worker.send_async(
+            request.reply_qp, (request.req_id, value), request.reply_bytes)
+
+
+class RpcChannel:
+    """Client-side handle: one outstanding call at a time per channel."""
+
+    def __init__(self, server: RpcServer, c2s: QueuePair, s2c: QueuePair):
+        self.server = server
+        self.c2s = c2s
+        self.s2c = s2c
+
+    def call(self, worker: Worker, body: Any, request_bytes: int = 64,
+             reply_bytes: int = 32) -> Generator:
+        """Issue one RPC and wait for its response value."""
+        req = RpcRequest(next(_req_ids), body, reply_qp=self.s2c,
+                         reply_bytes=reply_bytes)
+        yield from worker.send(self.c2s, req, request_bytes)
+        completion = yield from worker.recv(self.s2c)
+        req_id, value = completion.value
+        if req_id != req.req_id:
+            raise RuntimeError(
+                f"RPC response mismatch: expected {req.req_id}, got {req_id} "
+                "(one channel must not issue concurrent calls)")
+        return value

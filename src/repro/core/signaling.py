@@ -1,0 +1,76 @@
+"""Selective signaling: amortize completion costs over a WR window.
+
+Herd/FaSST-style optimization (Related Work: "inline and selective
+signal"): only every Nth work request is signaled; the CQE of WR *k*
+implies completion of every earlier WR on the same RC QP (in-order
+delivery), so the CPU polls one CQE per window instead of one per op and
+the RNIC skips N-1 CQE DMAs.
+
+The sender must keep enough staging buffers for one full window — buffers
+of unsignaled WRs cannot be reused until the window's signaled completion
+arrives — which :class:`SignalWindow` enforces.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.sim import Event
+from repro.verbs import QueuePair, Worker, WorkRequest
+
+__all__ = ["SignalWindow"]
+
+
+class SignalWindow:
+    """Posts WRs with one signaled completion per ``window`` requests."""
+
+    def __init__(self, worker: Worker, qp: QueuePair, window: int = 16):
+        if window < 1:
+            raise ValueError(f"window must be >= 1: {window}")
+        self.worker = worker
+        self.qp = qp
+        self.window = window
+        self._since_signal = 0
+        self._pending_signal: Optional[Event] = None
+        self._last_event: Optional[Event] = None
+        self.posted = 0
+        self.signaled = 0
+
+    def post(self, wr: WorkRequest) -> Generator:
+        """Post one WR under the signaling discipline.
+
+        Blocks (waits the previous window's CQE) when a new window would
+        otherwise leave more than one signaled WR outstanding — bounding
+        both staging-buffer lifetime and SQ depth.
+        """
+        self._since_signal += 1
+        signal_now = self._since_signal >= self.window
+        wr.signaled = signal_now
+        ev = yield from self.worker.post(self.qp, wr)
+        self.posted += 1
+        self._last_event = ev
+        if signal_now:
+            self.signaled += 1
+            self._since_signal = 0
+            if self._pending_signal is not None:
+                yield from self.worker.wait(self._pending_signal)
+            self._pending_signal = ev
+        return ev
+
+    def drain(self) -> Generator:
+        """Wait out everything posted so far.
+
+        Call before reusing staging buffers or ending a phase.  RC
+        in-order delivery means waiting the LAST posted WR covers every
+        earlier one, signaled or not.
+        """
+        if self._last_event is not None:
+            yield self._last_event
+            self._last_event = None
+            self._pending_signal = None
+        self._since_signal = 0
+
+    @property
+    def cqe_ratio(self) -> float:
+        """Fraction of WRs that produced a CQE (target: 1/window)."""
+        return self.signaled / self.posted if self.posted else 0.0

@@ -1,0 +1,39 @@
+"""Hardware models for the RDMA-stack simulator.
+
+Everything the paper's observations depend on is modeled explicitly:
+
+* :mod:`repro.hw.params` — calibrated constants (one paper anchor each).
+* :mod:`repro.hw.dram` — host DRAM + CPU-cache cost model (local baselines).
+* :mod:`repro.hw.numa` — socket topology and QPI hop penalties.
+* :mod:`repro.hw.pcie` — MMIO doorbells, DMA TLPs, scatter/gather DMA.
+* :mod:`repro.hw.sram` — the RNIC's small on-device metadata cache (LRU).
+* :mod:`repro.hw.rnic` — ports, execution units, link serialization.
+* :mod:`repro.hw.switch` — the cluster switch (per-hop latency).
+* :mod:`repro.hw.machine` / :mod:`repro.hw.cluster` — composition.
+"""
+
+from repro.hw.params import HardwareParams
+from repro.hw.dram import DramModel, AccessPattern
+from repro.hw.numa import NumaTopology
+from repro.hw.pcie import PcieLink
+from repro.hw.sram import MetadataCache
+from repro.hw.rnic import Rnic, RnicPort
+from repro.hw.switch import Switch
+from repro.hw.machine import Machine
+from repro.hw.cluster import Cluster
+from repro.hw.faults import FaultInjector
+
+__all__ = [
+    "AccessPattern",
+    "Cluster",
+    "DramModel",
+    "FaultInjector",
+    "HardwareParams",
+    "Machine",
+    "MetadataCache",
+    "NumaTopology",
+    "PcieLink",
+    "Rnic",
+    "RnicPort",
+    "Switch",
+]

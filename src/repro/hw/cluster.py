@@ -1,0 +1,42 @@
+"""Cluster composition: N machines behind one switch.
+
+This is the root object a benchmark or application builds first::
+
+    sim = Simulator()
+    cluster = Cluster(sim, HardwareParams())
+    ctx = RdmaContext(cluster)          # from repro.verbs
+"""
+
+from __future__ import annotations
+
+from repro.hw.machine import Machine
+from repro.hw.params import HardwareParams
+from repro.hw.switch import Switch
+from repro.sim import Simulator
+
+__all__ = ["Cluster"]
+
+
+class Cluster:
+    """The eight-machine testbed (machine count configurable)."""
+
+    def __init__(self, sim: Simulator, params: HardwareParams | None = None,
+                 machines: int | None = None):
+        self.sim = sim
+        self.params = params or HardwareParams()
+        self.params.validate()
+        n = machines if machines is not None else self.params.machines
+        if n < 1:
+            raise ValueError("cluster needs at least one machine")
+        self.switch = Switch(sim, self.params, ports=max(18, n * 2))
+        self.machines = [Machine(sim, self.params, self.switch, i)
+                         for i in range(n)]
+
+    def __len__(self) -> int:
+        return len(self.machines)
+
+    def __getitem__(self, i: int) -> Machine:
+        return self.machines[i]
+
+    def __iter__(self):
+        return iter(self.machines)

@@ -1,0 +1,128 @@
+"""Host DRAM + CPU-cache cost model.
+
+Provides the *local* memory baselines the paper compares against:
+
+* Fig 6(c): local sequential vs random read/write throughput — "once a row
+  is read out, all the bits are available in the cache", so sequential
+  access is far cheaper than random (2.92x for writes, 4-8x for reads).
+* Fig 4's ``Local-W``/``Local-R``: batched local access via readv/writev.
+* Table II: local vs remote-socket latency/bandwidth (the Intel MLC probe).
+* The SP batcher's CPU-side gather (memcpy) cost.
+
+These are cost *functions*, not DES resources: local memory operations in
+the paper's benchmarks are single-threaded closed loops, so charging the
+issuing thread directly is faithful and much cheaper to simulate.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.hw.numa import NumaTopology
+from repro.hw.params import HardwareParams
+
+__all__ = ["AccessPattern", "DramModel"]
+
+
+class AccessPattern(str, enum.Enum):
+    SEQUENTIAL = "seq"
+    RANDOM = "rand"
+
+
+class DramModel:
+    """Per-operation local memory cost, parameterized by pattern and NUMA."""
+
+    def __init__(self, params: HardwareParams, topology: NumaTopology):
+        self.params = params
+        self.topology = topology
+
+    # -- single ops (Fig 6c) ------------------------------------------------
+    def write_ns(self, nbytes: int, pattern: AccessPattern,
+                 core_socket: int = 0, mem_socket: int = 0) -> float:
+        """Cost of one store of ``nbytes`` under ``pattern``."""
+        self._check_size(nbytes)
+        base = (
+            self.params.local_seq_write_ns
+            if pattern is AccessPattern.SEQUENTIAL
+            else self.params.local_rand_write_ns
+        )
+        return self._with_numa(base, nbytes, core_socket, mem_socket,
+                               random=pattern is AccessPattern.RANDOM)
+
+    def read_ns(self, nbytes: int, pattern: AccessPattern,
+                core_socket: int = 0, mem_socket: int = 0) -> float:
+        """Cost of one load of ``nbytes`` under ``pattern``."""
+        self._check_size(nbytes)
+        base = (
+            self.params.local_seq_read_ns
+            if pattern is AccessPattern.SEQUENTIAL
+            else self.params.local_rand_read_ns
+        )
+        return self._with_numa(base, nbytes, core_socket, mem_socket,
+                               random=pattern is AccessPattern.RANDOM)
+
+    def _with_numa(self, base: float, nbytes: int, core_socket: int,
+                   mem_socket: int, random: bool) -> float:
+        bw = self.topology.dram_bandwidth(core_socket, mem_socket)
+        cost = base + nbytes / bw
+        hops = self.topology.hops(core_socket, mem_socket)
+        if hops:
+            # Random access across sockets additionally pays the latency
+            # delta on every miss (the "inter-socket random write is 6.85x
+            # slower" effect); sequential streams hide it behind prefetch.
+            if random:
+                cost += (
+                    self.topology.dram_latency(core_socket, mem_socket)
+                    - self.params.dram_local_latency_ns
+                )
+            else:
+                cost += hops * self.params.qpi_hop_ns * 0.1  # mostly hidden
+        return cost
+
+    # -- vector ops (Fig 4 Local-W / Local-R) --------------------------------
+    def writev_ns(self, sizes: list[int]) -> float:
+        """Batched local write of several buffers (writev model): one
+        syscall-ish fixed cost plus a per-entry cost; small batched entries
+        stream at cache bandwidth."""
+        self._check_sizes(sizes)
+        per_entry = self.params.local_writev_entry_ns
+        stream = sum(sizes) / self.params.cache_bw_Bns
+        return self.params.memcpy_base_ns + per_entry * len(sizes) + stream
+
+    def readv_ns(self, sizes: list[int]) -> float:
+        """Batched local read of several buffers (readv model)."""
+        self._check_sizes(sizes)
+        per_entry = self.params.local_readv_entry_ns
+        stream = sum(sizes) / self.params.cache_bw_Bns
+        return self.params.memcpy_base_ns + per_entry * len(sizes) + stream
+
+    # -- memcpy (the SP batcher's gather phase) -------------------------------
+    def memcpy_ns(self, nbytes: int, core_socket: int = 0,
+                  src_socket: int = 0, dst_socket: int = 0) -> float:
+        """One buffer copy by a core, with NUMA-aware bandwidth."""
+        self._check_size(nbytes)
+        bw = min(
+            self.topology.dram_bandwidth(core_socket, src_socket),
+            self.topology.dram_bandwidth(core_socket, dst_socket),
+        )
+        return self.params.memcpy_base_ns + nbytes / bw
+
+    # -- Table II probe --------------------------------------------------------
+    def mlc_probe(self, core_socket: int, mem_socket: int) -> tuple[float, float]:
+        """(latency_ns, bandwidth_GBs) as Intel MLC would report them."""
+        return (
+            self.topology.dram_latency(core_socket, mem_socket),
+            self.topology.dram_bandwidth(core_socket, mem_socket),
+        )
+
+    @staticmethod
+    def _check_size(nbytes: int) -> None:
+        if nbytes < 0:
+            raise ValueError(f"negative size: {nbytes}")
+
+    @staticmethod
+    def _check_sizes(sizes: list[int]) -> None:
+        if not sizes:
+            raise ValueError("empty size list")
+        if any(s < 0 for s in sizes):
+            raise ValueError("negative size in list")

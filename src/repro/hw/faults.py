@@ -1,0 +1,72 @@
+"""Fault and perturbation injection.
+
+Real clusters are not uniform: a port behind a mis-trained link, a
+thermally throttled PCIe slot, or a noisy neighbour shows up as a slow or
+jittery NIC.  The injector degrades individual :class:`RnicPort`s —
+multiplicative slowdown and/or additive jitter on every occupancy — so
+the tail behaviour of the applications (shuffle stragglers, lock
+fairness under asymmetry) can be studied and tested.
+
+Injection is off by default and costs nothing when unused.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.hw.rnic import RnicPort
+from repro.sim import Simulator
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Degrades ports; restores them on demand or on a schedule."""
+
+    def __init__(self, sim: Simulator,
+                 rng: Optional[np.random.Generator] = None):
+        self.sim = sim
+        self.rng = rng
+        self._afflicted: dict[int, RnicPort] = {}
+
+    def slow_port(self, port: RnicPort, factor: float,
+                  duration_ns: Optional[float] = None) -> None:
+        """Scale every occupancy of ``port`` by ``factor`` (>= 1).
+
+        With ``duration_ns`` the port heals automatically.
+        """
+        if factor < 1.0:
+            raise ValueError(f"slowdown factor must be >= 1: {factor}")
+        port.slowdown = factor
+        self._afflicted[id(port)] = port
+        if duration_ns is not None:
+            if duration_ns <= 0:
+                raise ValueError("duration must be positive")
+            self.sim.timeout(duration_ns).add_callback(
+                lambda _e, p=port: self._heal(p))
+
+    def jitter_port(self, port: RnicPort, max_extra_ns: float) -> None:
+        """Add uniform random [0, max_extra_ns) to every occupancy."""
+        if max_extra_ns < 0:
+            raise ValueError(f"negative jitter: {max_extra_ns}")
+        if self.rng is None:
+            raise ValueError("jitter requires an rng")
+        port.jitter_rng = self.rng
+        port.jitter_max_ns = max_extra_ns
+        self._afflicted[id(port)] = port
+
+    def _heal(self, port: RnicPort) -> None:
+        port.slowdown = 1.0
+        port.jitter_rng = None
+        port.jitter_max_ns = 0.0
+        self._afflicted.pop(id(port), None)
+
+    def heal_all(self) -> None:
+        for port in list(self._afflicted.values()):
+            self._heal(port)
+
+    @property
+    def afflicted_count(self) -> int:
+        return len(self._afflicted)

@@ -1,0 +1,46 @@
+"""A machine: sockets with memory, cores, one RNIC, local DRAM model."""
+
+from __future__ import annotations
+
+from repro.hw.dram import DramModel
+from repro.hw.numa import NumaTopology
+from repro.hw.params import HardwareParams
+from repro.hw.rnic import Rnic, RnicPort
+from repro.hw.switch import Switch
+from repro.sim import Simulator
+
+__all__ = ["Machine"]
+
+
+class Machine:
+    """Dual-socket testbed node (Section III setup).
+
+    Hosts the NUMA topology, the per-socket DRAM model, and one dual-port
+    RNIC whose ports are socket-affine.  Memory registration bookkeeping
+    lives in :mod:`repro.memory`; this class is purely the hardware.
+    """
+
+    def __init__(self, sim: Simulator, params: HardwareParams, switch: Switch,
+                 machine_id: int):
+        self.sim = sim
+        self.params = params
+        self.machine_id = machine_id
+        self.topology = NumaTopology(params)
+        self.dram = DramModel(params, self.topology)
+        self.rnic = Rnic(sim, params, self.topology, switch,
+                         name=f"m{machine_id}.rnic")
+        # Per-socket allocation cursors for the memory allocator.
+        self.sockets = list(range(params.sockets_per_machine))
+
+    @property
+    def ports(self) -> list[RnicPort]:
+        return self.rnic.ports
+
+    def port(self, index: int = 0) -> RnicPort:
+        return self.rnic.ports[index]
+
+    def port_for_socket(self, socket: int) -> RnicPort:
+        return self.rnic.port_for_socket(socket)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Machine {self.machine_id}>"

@@ -1,0 +1,86 @@
+"""NUMA topology: sockets, QPI hops, and placement penalties (Section II-B4).
+
+Each machine has ``sockets_per_machine`` sockets; memory is split evenly
+and each RNIC port is affiliated with one socket.  A transaction (MMIO,
+DMA, or a plain load) that crosses sockets pays QPI hop latency and sees
+the lower remote-socket bandwidth (Table II).
+
+The paper's end-to-end decomposition is
+``T_RNIC->Socket + T_Socket->Memory + T_Network``; this module provides the
+first two terms for any (component socket, memory socket) pair.
+"""
+
+from __future__ import annotations
+
+from repro.hw.params import HardwareParams
+
+__all__ = ["NumaTopology"]
+
+
+class NumaTopology:
+    """Socket topology of one machine.
+
+    The dual-socket testbed has a single QPI link, so the hop count between
+    distinct sockets is 1; the model generalizes to ring distance for more
+    sockets (e.g. the four-socket machine of Fig 2).
+    """
+
+    def __init__(self, params: HardwareParams):
+        self.params = params
+        self.n_sockets = params.sockets_per_machine
+        if self.n_sockets < 1:
+            raise ValueError("need at least one socket")
+
+    def hops(self, socket_a: int, socket_b: int) -> int:
+        """QPI hops between two sockets (ring distance)."""
+        self._check(socket_a)
+        self._check(socket_b)
+        if socket_a == socket_b:
+            return 0
+        d = abs(socket_a - socket_b)
+        return min(d, self.n_sockets - d)
+
+    def _check(self, socket: int) -> None:
+        if not 0 <= socket < self.n_sockets:
+            raise ValueError(
+                f"socket {socket} out of range 0..{self.n_sockets - 1}"
+            )
+
+    # -- penalties --------------------------------------------------------
+    def cross_penalty(self, socket_a: int, socket_b: int) -> float:
+        """Extra ns an MMIO/DMA transaction pays crossing from a to b."""
+        return self.hops(socket_a, socket_b) * self.params.qpi_hop_ns
+
+    def dram_latency(self, core_socket: int, mem_socket: int) -> float:
+        """Load latency from a core to memory (Table II: 92 vs 162 ns)."""
+        if self.hops(core_socket, mem_socket) == 0:
+            return self.params.dram_local_latency_ns
+        # Each extra hop beyond the first adds another QPI traversal.
+        extra = (self.hops(core_socket, mem_socket) - 1) * self.params.qpi_hop_ns
+        return self.params.dram_remote_latency_ns + extra
+
+    def dram_bandwidth(self, core_socket: int, mem_socket: int) -> float:
+        """Stream bandwidth, B/ns (Table II: 3.70 vs 2.27 GB/s)."""
+        if self.hops(core_socket, mem_socket) == 0:
+            return self.params.dram_local_bw_Bns
+        return self.params.dram_remote_bw_Bns
+
+    def dma_time(self, device_socket: int, mem_socket: int, nbytes: int,
+                 segments: int = 1) -> float:
+        """DMA from a device on ``device_socket`` into memory on
+        ``mem_socket``: PCIe transfer plus QPI crossing costs.
+
+        Crossing sockets adds the hop latency *and* throttles the stream
+        (``cross_dma_bw_factor``) — large cross-socket DMAs run at roughly
+        half rate, which is what the NUMA-aware designs of Section IV avoid.
+        """
+        if self.hops(device_socket, mem_socket) == 0:
+            return self.params.pcie_time(nbytes, segments)
+        base = self.params.pcie_time(nbytes, segments)
+        stream = nbytes / self.params.pcie_bandwidth_Bns
+        slowdown = stream * (1.0 / self.params.cross_dma_bw_factor - 1.0)
+        return base + slowdown + self.cross_penalty(device_socket, mem_socket)
+
+    def mmio_time(self, core_socket: int, device_socket: int) -> float:
+        """Doorbell MMIO from a core to a device, ns."""
+        return self.params.mmio_ns + self.cross_penalty(core_socket, device_socket)

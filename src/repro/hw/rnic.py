@@ -1,0 +1,191 @@
+"""RNIC model: ports, execution units, link serialization, metadata SRAM.
+
+A ConnectX-3-class RNIC has (per port) a requester pipeline that fetches
+WQEs over PCIe, translates addresses via the on-chip SRAM cache, and
+serializes packets onto the 40 Gbps link; and a responder pipeline that
+handles inbound ops and DMA-writes payloads to host memory.  Atomics
+additionally serialize on a responder-side atomic unit, which is why the
+paper measures only 2.2-2.5 MOPS per port for CAS/FAA.
+
+Packet throttling (Section II-B1) falls out of the requester occupancy
+``max(t_exec(op), wire_time(payload))``: below ~1 KB the execution unit is
+the bottleneck (flat latency/throughput); beyond, the link is.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.hw.numa import NumaTopology
+from repro.hw.params import HardwareParams
+from repro.hw.pcie import PcieLink
+from repro.hw.sram import MetadataCache
+from repro.hw.switch import Switch
+from repro.sim import Resource, Simulator
+
+__all__ = ["Rnic", "RnicPort"]
+
+
+class RnicPort:
+    """One RNIC port, affiliated with one NUMA socket.
+
+    Exposes the three contended pipelines (requester/tx, responder/rx,
+    atomic) plus its PCIe path.  The verbs layer composes these into full
+    operations.
+    """
+
+    def __init__(self, sim: Simulator, rnic: "Rnic", index: int, socket: int):
+        self.sim = sim
+        self.rnic = rnic
+        self.index = index
+        self.socket = socket
+        name = f"{rnic.name}.p{index}"
+        self.tx_unit = Resource(sim, capacity=1, name=f"{name}.tx")
+        self.rx_unit = Resource(sim, capacity=1, name=f"{name}.rx")
+        self.atomic_unit = Resource(sim, capacity=1, name=f"{name}.atomic")
+        self.pcie = PcieLink(sim, rnic.params, rnic.topology, socket,
+                             name=f"{name}.pcie")
+        self.tx_ops = 0
+        self.rx_ops = 0
+        # Fault-injection hooks (see repro.hw.faults): multiplicative
+        # slowdown and additive jitter applied to every occupancy.
+        self.slowdown = 1.0
+        self.jitter_rng = None
+        self.jitter_max_ns = 0.0
+
+    def _perturb(self, hold: float) -> float:
+        hold *= self.slowdown
+        if self.jitter_rng is not None and self.jitter_max_ns > 0:
+            hold += float(self.jitter_rng.uniform(0, self.jitter_max_ns))
+        return hold
+
+    @property
+    def params(self) -> HardwareParams:
+        return self.rnic.params
+
+    # -- requester side ----------------------------------------------------
+    def tx_occupancy_ns(self, exec_ns: float, payload_bytes: int,
+                        n_sge: int = 1, extra_ns: float = 0.0) -> float:
+        """Execution-unit hold time for one outbound WQE.
+
+        ``max(processing, serialization)``: the unit is released when the
+        last byte leaves, or when processing finishes — whichever is later.
+        Extra scatter/gather elements each cost a descriptor walk.
+        """
+        p = self.params
+        if n_sge < 1:
+            raise ValueError(f"n_sge must be >= 1, got {n_sge}")
+        if n_sge > p.max_sge:
+            raise ValueError(f"n_sge {n_sge} exceeds hardware max {p.max_sge}")
+        processing = exec_ns + (n_sge - 1) * p.sge_overhead_ns + extra_ns
+        return max(processing, p.wire_time(payload_bytes))
+
+    def exec_tx(self, exec_ns: float, payload_bytes: int, n_sge: int = 1,
+                extra_ns: float = 0.0) -> Generator:
+        """Process step: occupy the requester pipeline for one WQE."""
+        hold = self._perturb(
+            self.tx_occupancy_ns(exec_ns, payload_bytes, n_sge, extra_ns))
+        yield self.tx_unit.acquire()
+        try:
+            yield self.sim.timeout(hold)
+        finally:
+            self.tx_unit.release()
+        self.tx_ops += 1
+        self.rnic.switch.record(payload_bytes)
+
+    # -- responder side -----------------------------------------------------
+    def exec_rx(self, base_ns: float, extra_ns: float = 0.0,
+                payload_bytes: int = 0) -> Generator:
+        """Process step: responder pipeline occupancy for one inbound op.
+
+        Holds for ``max(processing, inbound serialization)``: a port can
+        only absorb data at link rate, so many-to-one traffic queues here
+        (the receiver-side bottleneck of the distributed log, Fig 19).
+        """
+        hold = self._perturb(
+            max(base_ns + extra_ns, self.params.wire_time(payload_bytes)
+                if payload_bytes else 0.0))
+        yield self.rx_unit.acquire()
+        try:
+            yield self.sim.timeout(hold)
+        finally:
+            self.rx_unit.release()
+        self.rx_ops += 1
+
+    def exec_atomic(self, extra_ns: float = 0.0) -> Generator:
+        """Process step: responder-side atomic execution (serialized)."""
+        hold = self._perturb(self.params.exec_atomic_ns + extra_ns)
+        yield self.atomic_unit.acquire()
+        try:
+            yield self.sim.timeout(hold)
+        finally:
+            self.atomic_unit.release()
+        self.rx_ops += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<RnicPort {self.rnic.name}.p{self.index} socket={self.socket}>"
+
+
+class Rnic:
+    """One RNIC: ``ports_per_rnic`` ports sharing one metadata SRAM.
+
+    Port *i* is affiliated with socket ``i % sockets`` (Section II-B4:
+    "each port/RNIC is bound to one of the sockets").
+    """
+
+    def __init__(self, sim: Simulator, params: HardwareParams,
+                 topology: NumaTopology, switch: Switch, name: str = ""):
+        self.sim = sim
+        self.params = params
+        self.topology = topology
+        self.switch = switch
+        self.name = name or "rnic"
+        self.translation_cache = MetadataCache(
+            params.translation_cache_entries,
+            params.sram_miss_penalty_ns,
+            name=f"{self.name}.xlt",
+        )
+        self.qp_cache = MetadataCache(
+            params.qp_cache_entries,
+            params.qp_miss_penalty_ns,
+            name=f"{self.name}.qpc",
+        )
+        self.ports = [
+            RnicPort(sim, self, i, i % topology.n_sockets)
+            for i in range(params.ports_per_rnic)
+        ]
+        # Atomic ops to the SAME target word serialize across the whole
+        # device (the RNIC's internal read-modify-write lock), even when
+        # they arrive on different ports — this is why a single remote
+        # sequencer word plateaus at ~2.4 MOPS no matter how it is reached.
+        self._atomic_locks: dict = {}
+
+    def atomic_word_lock(self, key) -> Resource:
+        """Per-target-word serialization point for CAS/FAA."""
+        lock = self._atomic_locks.get(key)
+        if lock is None:
+            lock = self._atomic_locks[key] = Resource(
+                self.sim, capacity=1, name=f"{self.name}.atomic{key}")
+        return lock
+
+    def port_for_socket(self, socket: int) -> RnicPort:
+        """The port affiliated with ``socket`` (or the nearest one)."""
+        best: Optional[RnicPort] = None
+        best_hops = None
+        for port in self.ports:
+            h = self.topology.hops(port.socket, socket)
+            if best is None or h < best_hops:  # type: ignore[operator]
+                best, best_hops = port, h
+        assert best is not None
+        return best
+
+    def translate(self, keys: list) -> float:
+        """Translation-table lookups for an op touching ``keys`` pages.
+
+        Returns the accumulated SRAM-miss penalty in ns (Section II-B2).
+        """
+        return self.translation_cache.lookup_many(keys)
+
+    def qp_context(self, qp_id: int) -> float:
+        """QP-state lookup penalty; thrashes with many connections."""
+        return self.qp_cache.lookup(qp_id)

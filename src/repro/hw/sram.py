@@ -1,0 +1,85 @@
+"""RNIC on-device SRAM metadata cache (Section II-B2).
+
+Commercial RNICs keep megabytes of SRAM that cache (1) the address
+translation table, (2) QP state, (3) other metadata.  The limited capacity
+is "the root cause of poor scalability": translation misses fetch entries
+from host DRAM over PCIe, and QP thrash sets in with many connections.
+
+We model each cache as an LRU set of keys with a per-miss penalty.  The
+translation cache is keyed by ``(mr_id, page_index)``; the QP cache by
+``qp_id``.  The 1024-entry x 4 KB default covers 4 MB of registered memory,
+which is exactly where Fig 6(d) shows the sequential/random gap opening.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable
+
+__all__ = ["MetadataCache"]
+
+
+class MetadataCache:
+    """An LRU cache of metadata keys with hit/miss accounting.
+
+    ``lookup`` returns the time penalty of the access (0 on hit, the miss
+    penalty on miss) and inserts the key, evicting the least recently used
+    entry when full.
+    """
+
+    def __init__(self, capacity: int, miss_penalty_ns: float, name: str = ""):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if miss_penalty_ns < 0:
+            raise ValueError(f"negative miss penalty: {miss_penalty_ns}")
+        self.capacity = capacity
+        self.miss_penalty_ns = miss_penalty_ns
+        self.name = name
+        self._entries: OrderedDict[Hashable, None] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def lookup(self, key: Hashable) -> float:
+        """Access ``key``; returns the ns penalty this access pays."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return 0.0
+        self.misses += 1
+        self._entries[key] = None
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        return self.miss_penalty_ns
+
+    def lookup_many(self, keys: list[Hashable]) -> float:
+        """Accumulated penalty of touching several keys (multi-page ops)."""
+        return sum(self.lookup(k) for k in keys)
+
+    def invalidate(self, key: Hashable) -> None:
+        """Drop one entry (e.g. MR deregistration)."""
+        self._entries.pop(key, None)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def reset_stats(self) -> None:
+        self.hits = self.misses = self.evictions = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MetadataCache({self.name!r}, {len(self._entries)}/{self.capacity}, "
+            f"hit_rate={self.hit_rate:.2f})"
+        )

@@ -1,0 +1,37 @@
+"""The cluster switch (18-port Mellanox InfiniScale-IV in the testbed).
+
+Modeled as a non-blocking crossbar: each traversal pays a fixed per-hop
+switching latency plus wire propagation on each side.  Per-port bandwidth
+is enforced at the *sending* RNIC port (link serialization happens there),
+so the switch itself only adds latency — faithful to a non-oversubscribed
+single-switch fabric where the NIC is the bottleneck.
+"""
+
+from __future__ import annotations
+
+from repro.hw.params import HardwareParams
+from repro.sim import Simulator
+
+__all__ = ["Switch"]
+
+
+class Switch:
+    """Fixed-latency crossbar connecting every RNIC port in the cluster."""
+
+    def __init__(self, sim: Simulator, params: HardwareParams, ports: int = 18):
+        if ports < 2:
+            raise ValueError("a switch needs at least two ports")
+        self.sim = sim
+        self.params = params
+        self.ports = ports
+        self.packets = 0
+        self.bytes = 0
+
+    def traverse_ns(self) -> float:
+        """One-way latency through the fabric: wire in, switch, wire out."""
+        return 2 * self.params.wire_latency_ns + self.params.switch_latency_ns
+
+    def record(self, nbytes: int) -> None:
+        """Accounting hook called by sending ports."""
+        self.packets += 1
+        self.bytes += nbytes

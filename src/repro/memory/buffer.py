@@ -1,0 +1,58 @@
+"""Registered RDMA buffers backed by real bytes.
+
+Applications move actual data through the simulator (the hashtable stores
+real values, the shuffle moves real tuples), so correctness properties —
+read-your-writes, exactly-once delivery, log ordering — are testable, not
+assumed.  The backing store is a NumPy ``uint8`` array, allocated as the
+paper does with ``posix_memalign`` (page-aligned).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["RdmaBuffer"]
+
+
+class RdmaBuffer:
+    """A page-aligned byte buffer pinned on one machine/socket."""
+
+    def __init__(self, size: int, machine_id: int, socket: int):
+        if size <= 0:
+            raise ValueError(f"buffer size must be positive: {size}")
+        self.size = size
+        self.machine_id = machine_id
+        self.socket = socket
+        self.data = np.zeros(size, dtype=np.uint8)
+
+    def _check(self, offset: int, length: int) -> None:
+        if offset < 0 or length < 0 or offset + length > self.size:
+            raise IndexError(
+                f"access [{offset}, {offset + length}) out of bounds for "
+                f"buffer of {self.size} bytes"
+            )
+
+    def read(self, offset: int, length: int) -> bytes:
+        self._check(offset, length)
+        return self.data[offset:offset + length].tobytes()
+
+    def write(self, offset: int, payload: bytes | np.ndarray) -> None:
+        n = len(payload)
+        self._check(offset, n)
+        self.data[offset:offset + n] = np.frombuffer(bytes(payload), dtype=np.uint8)
+
+    # -- 64-bit words for atomics ------------------------------------------
+    def read_u64(self, offset: int) -> int:
+        self._check(offset, 8)
+        if offset % 8:
+            raise ValueError(f"atomic access must be 8-byte aligned: {offset}")
+        return int(self.data[offset:offset + 8].view(np.uint64)[0])
+
+    def write_u64(self, offset: int, value: int) -> None:
+        self._check(offset, 8)
+        if offset % 8:
+            raise ValueError(f"atomic access must be 8-byte aligned: {offset}")
+        self.data[offset:offset + 8].view(np.uint64)[0] = np.uint64(value & (2**64 - 1))
+
+    def __len__(self) -> int:
+        return self.size

@@ -1,0 +1,67 @@
+"""Message channels: stores with an optional propagation delay.
+
+Used for the shared-memory message queues between a local socket and its
+proxy socket (Section IV-B of the paper) and for the two-sided Send/Recv
+RPC substrate in :mod:`repro.core.rpc`.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.sim.engine import Event, Simulator
+from repro.sim.resources import Store
+
+__all__ = ["Channel"]
+
+
+class Channel:
+    """A FIFO message channel with per-message latency.
+
+    ``send`` schedules the message to appear at the receive side after
+    ``latency_ns``; ``recv`` behaves like :meth:`Store.get`.  Messages stay
+    FIFO because the delay is constant per channel.
+    """
+
+    def __init__(self, sim: Simulator, latency_ns: float = 0.0, name: str = ""):
+        if latency_ns < 0:
+            raise ValueError(f"negative latency: {latency_ns}")
+        self.sim = sim
+        self.latency_ns = latency_ns
+        self.name = name
+        self._store = Store(sim, name=name)
+        self.sent = 0
+        self.received = 0
+
+    def send(self, message: Any) -> Event:
+        """Enqueue ``message``; it becomes receivable after the latency."""
+        self.sent += 1
+        if self.latency_ns == 0:
+            return self._store.put(message)
+        done = Event(self.sim)
+
+        def deliver(_ev: Event) -> None:
+            self._store.put(message)
+            done.succeed(None)
+
+        self.sim.timeout(self.latency_ns).add_callback(deliver)
+        return done
+
+    def recv(self) -> Event:
+        """Event whose value is the next message."""
+        ev = self._store.get()
+        # Count on grant, not on call, so pending recv()s don't inflate it.
+        ev.add_callback(lambda _e: self._inc_received())
+        return ev
+
+    def _inc_received(self) -> None:
+        self.received += 1
+
+    def try_recv(self) -> Any:
+        item = self._store.try_get()
+        if item is not None:
+            self.received += 1
+        return item
+
+    def __len__(self) -> int:
+        return len(self._store)

@@ -1,0 +1,403 @@
+"""Core discrete-event simulation engine.
+
+The engine is deliberately small: an event heap ordered by
+``(time, priority, sequence)``, :class:`Event` objects with success/failure
+callbacks, and :class:`Process` objects that drive Python generators.  A
+process yields an :class:`Event` and is resumed with the event's value once
+it fires; yielding another process waits for it to finish; raising inside a
+generator fails the process event and propagates to waiters.
+
+Design notes
+------------
+* Time is a float in **nanoseconds**.  The engine itself is unit-agnostic,
+  but every model in :mod:`repro.hw` assumes nanoseconds.
+* Events fire in deterministic order: ties are broken by a monotonically
+  increasing sequence number, so a given seed always produces the same
+  schedule.
+* Errors raised inside a process that nobody waits on re-raise out of
+  :meth:`Simulator.run` — silent failure would make cost-model bugs look
+  like performance results.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Event",
+    "Interrupt",
+    "Process",
+    "SimulationError",
+    "Simulator",
+    "Timeout",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for engine-level misuse (double trigger, yielding non-events)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    The ``cause`` attribute carries the value passed to ``interrupt``.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+# Event priorities: URGENT events (process resumptions) run before NORMAL
+# events scheduled at the same timestamp, mirroring SimPy semantics.
+URGENT = 0
+NORMAL = 1
+
+
+class Event:
+    """A one-shot occurrence at a point in simulated time.
+
+    An event starts *pending*, is *triggered* once scheduled onto the heap,
+    and becomes *processed* after its callbacks run.  ``succeed``/``fail``
+    trigger it immediately (at the current simulation time).
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_triggered", "_processed")
+
+    _PENDING = object()
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: Optional[list[Callable[[Event], None]]] = []
+        self._value: Any = Event._PENDING
+        self._ok: bool = True
+        self._triggered = False
+        self._processed = False
+
+    # -- state inspection -------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        if self._value is Event._PENDING:
+            raise SimulationError("event value not yet available")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._value is Event._PENDING:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    # -- triggering -------------------------------------------------------
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Mark the event successful and schedule its callbacks."""
+        if self._triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._triggered = True
+        self._ok = True
+        self._value = value
+        self.sim._enqueue(self, delay, NORMAL)
+        return self
+
+    def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
+        """Mark the event failed; waiters will see ``exception`` raised."""
+        if self._triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._triggered = True
+        self._ok = False
+        self._value = exception
+        self.sim._enqueue(self, delay, NORMAL)
+        return self
+
+    # -- internal ---------------------------------------------------------
+    def _run_callbacks(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        self._processed = True
+        if callbacks:
+            for cb in callbacks:
+                cb(self)
+
+    def add_callback(self, cb: Callable[["Event"], None]) -> None:
+        """Register ``cb`` to run when the event fires.
+
+        If the event has already been processed the callback runs
+        immediately — this keeps "wait on a finished process" race-free.
+        """
+        if self.callbacks is None:
+            cb(self)
+        else:
+            self.callbacks.append(cb)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = (
+            "processed" if self._processed
+            else "triggered" if self._triggered
+            else "pending"
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` nanoseconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self._triggered = True
+        self._ok = True
+        self._value = value
+        sim._enqueue(self, delay, NORMAL)
+
+
+class Process(Event):
+    """Drives a generator; completes (as an event) with its return value.
+
+    Yield targets inside the generator must be :class:`Event` instances
+    (timeouts, resource grants, other processes, ``AllOf``/``AnyOf``...).
+    """
+
+    __slots__ = ("_generator", "_waiting_on", "name")
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
+        super().__init__(sim)
+        if not hasattr(generator, "send"):
+            raise TypeError(
+                f"Process requires a generator, got {type(generator).__name__}; "
+                "did you forget to call the process function?"
+            )
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        # Bootstrap: resume the generator as soon as the engine starts.
+        boot = Event(sim)
+        boot._triggered = True
+        boot._ok = True
+        boot._value = None
+        self._waiting_on: Optional[Event] = boot
+        sim._enqueue(boot, 0.0, URGENT)
+        boot.add_callback(self._resume)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self._triggered:
+            return  # already finished; interrupt is a no-op
+        interrupter = Event(self.sim)
+        interrupter._triggered = True
+        interrupter._ok = False
+        interrupter._value = Interrupt(cause)
+        # Detach from whatever we were waiting on so the stale wakeup is
+        # ignored when (if) it fires later.
+        self._waiting_on = None
+        self.sim._enqueue(interrupter, 0.0, URGENT)
+        interrupter.add_callback(self._resume_interrupt)
+
+    def _resume_interrupt(self, trigger: Event) -> None:
+        if self._triggered:
+            return
+        import inspect
+        if inspect.getgeneratorstate(self._generator) == "GEN_CREATED":
+            # The generator never started: there is no code to observe the
+            # Interrupt, so terminate the process cleanly instead of
+            # throwing at its first line.
+            self._generator.close()
+            self._waiting_on = None
+            self.succeed(None)
+            return
+        self._step(trigger, throw=True)
+
+    def _resume(self, trigger: Event) -> None:
+        if self._triggered:
+            return  # process already finished; stale wakeup
+        if self._waiting_on is not trigger:
+            return  # wakeup from an event abandoned after an interrupt
+        self._step(trigger, throw=not trigger._ok)
+
+    def _step(self, trigger: Event, throw: bool) -> None:
+        self._waiting_on = None
+        try:
+            if throw:
+                target = self._generator.throw(trigger._value)
+            else:
+                target = self._generator.send(trigger._value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            if not self.callbacks:
+                # Nobody is waiting: surface the crash from Simulator.run().
+                self.sim._crash(exc, self)
+                self._triggered = True
+                self._ok = False
+                self._value = exc
+                return
+            self.fail(exc)
+            return
+        if not isinstance(target, Event):
+            err = SimulationError(
+                f"process {self.name!r} yielded {target!r}; processes must "
+                "yield Event instances (Timeout, Process, resource requests...)"
+            )
+            self.sim._crash(err, self)
+            return
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+
+class AnyOf(Event):
+    """Fires when the first of ``events`` fires.
+
+    Value is a dict ``{event: value}`` of the events fired so far.  A failed
+    child fails the condition.
+    """
+
+    __slots__ = ("events",)
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events = list(events)
+        if not self.events:
+            self.succeed({})
+            return
+        for ev in self.events:
+            ev.add_callback(self._check)
+
+    def _check(self, ev: Event) -> None:
+        if self._triggered:
+            return
+        if not ev._ok:
+            self.fail(ev._value)
+            return
+        self.succeed({e: e._value for e in self.events if e._processed or e is ev})
+
+
+class AllOf(Event):
+    """Fires when every one of ``events`` has fired.
+
+    Value is a dict ``{event: value}``.  A failed child fails the condition.
+    """
+
+    __slots__ = ("events", "_remaining")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events = list(events)
+        self._remaining = len(self.events)
+        if not self.events:
+            self.succeed({})
+            return
+        for ev in self.events:
+            ev.add_callback(self._check)
+
+    def _check(self, ev: Event) -> None:
+        if self._triggered:
+            return
+        if not ev._ok:
+            self.fail(ev._value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed({e: e._value for e in self.events})
+
+
+class Simulator:
+    """Owns simulated time and the pending-event heap."""
+
+    def __init__(self):
+        self.now: float = 0.0
+        self._heap: list[tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self._crashed: Optional[tuple[BaseException, Optional[Process]]] = None
+
+    # -- event construction ------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        return Process(self, generator, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    # -- scheduling ---------------------------------------------------------
+    def _enqueue(self, event: Event, delay: float, priority: int) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, priority, self._seq, event))
+
+    def _crash(self, exc: BaseException, proc: Optional[Process]) -> None:
+        if self._crashed is None:
+            self._crashed = (exc, proc)
+
+    # -- execution ----------------------------------------------------------
+    def step(self) -> None:
+        """Process the next event on the heap."""
+        when, _prio, _seq, event = heapq.heappop(self._heap)
+        if when < self.now:
+            raise SimulationError("event scheduled in the past")
+        self.now = when
+        event._run_callbacks()
+        if self._crashed is not None:
+            exc, proc = self._crashed
+            self._crashed = None
+            name = proc.name if proc is not None else "?"
+            raise SimulationError(f"unhandled error in process {name!r}") from exc
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run until the heap drains, time ``until`` passes, or event fires.
+
+        Returns the event's value when ``until`` is an :class:`Event`.
+        """
+        if isinstance(until, Event):
+            stop = until
+            # Mark the event as awaited so a failing process routes its
+            # exception here instead of treating it as unhandled.
+            stop.add_callback(lambda _e: None)
+            while not stop._processed:
+                if not self._heap:
+                    raise SimulationError(
+                        "simulation ran out of events before the awaited "
+                        "event fired (deadlock?)"
+                    )
+                self.step()
+            if not stop._ok:
+                raise stop._value
+            return stop._value
+        if until is not None:
+            horizon = float(until)
+            if horizon < self.now:
+                raise ValueError(f"until={horizon} is in the past (now={self.now})")
+            while self._heap and self._heap[0][0] <= horizon:
+                self.step()
+            self.now = horizon
+            return None
+        while self._heap:
+            self.step()
+        return None
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._heap[0][0] if self._heap else float("inf")

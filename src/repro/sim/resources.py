@@ -1,0 +1,157 @@
+"""Contended resources for the DES kernel.
+
+:class:`Resource` models a fixed number of service slots (RNIC execution
+units, PCIe DMA engines, memory-controller banks): processes ``yield
+res.acquire()`` and must ``res.release()`` when done.  :class:`Store` is an
+unbounded-or-bounded FIFO of items (message queues, work queues).
+
+Both hand out grants in strict FIFO order, which keeps simulations
+deterministic and mirrors the in-order behaviour of the hardware queues they
+stand in for.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Optional
+
+from repro.sim.engine import Event, SimulationError, Simulator
+
+__all__ = ["Resource", "Store"]
+
+
+class Resource:
+    """A counted resource with FIFO granting.
+
+    Usage inside a process::
+
+        grant = resource.acquire()
+        yield grant
+        try:
+            yield sim.timeout(service_time)
+        finally:
+            resource.release()
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = ""):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._waiters: deque[Event] = deque()
+        # busy-time accounting for utilization reports
+        self._busy_ns = 0.0
+        self._busy_since: Optional[float] = None
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queue_len(self) -> int:
+        return len(self._waiters)
+
+    def acquire(self) -> Event:
+        """Return an event that fires when a slot is granted."""
+        ev = Event(self.sim)
+        if self._in_use < self.capacity:
+            self._grant(ev)
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def _grant(self, ev: Event) -> None:
+        if self._in_use == 0:
+            self._busy_since = self.sim.now
+        self._in_use += 1
+        ev.succeed(self)
+
+    def release(self) -> None:
+        if self._in_use <= 0:
+            raise SimulationError(f"release() on idle resource {self.name!r}")
+        self._in_use -= 1
+        if self._in_use == 0 and self._busy_since is not None:
+            self._busy_ns += self.sim.now - self._busy_since
+            self._busy_since = None
+        while self._waiters and self._in_use < self.capacity:
+            self._grant(self._waiters.popleft())
+
+    def cancel(self, grant: Event) -> None:
+        """Withdraw a not-yet-granted acquire request."""
+        try:
+            self._waiters.remove(grant)
+        except ValueError:
+            pass
+
+    def busy_time(self) -> float:
+        """Total ns during which at least one slot was held."""
+        extra = self.sim.now - self._busy_since if self._busy_since is not None else 0.0
+        return self._busy_ns + extra
+
+    def utilization(self) -> float:
+        """Fraction of elapsed simulated time the resource was busy."""
+        return self.busy_time() / self.sim.now if self.sim.now > 0 else 0.0
+
+
+class Store:
+    """FIFO store of items with optional capacity bound.
+
+    ``get()`` returns an event whose value is the item; ``put(item)`` returns
+    an event that fires once the item is accepted (immediately unless the
+    store is full).
+    """
+
+    def __init__(self, sim: Simulator, capacity: float = float("inf"), name: str = ""):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+        self._putters: deque[tuple[Event, Any]] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def items(self) -> tuple:
+        return tuple(self._items)
+
+    def put(self, item: Any) -> Event:
+        ev = Event(self.sim)
+        if self._getters:
+            # Hand the item straight to the oldest waiting getter.
+            self._getters.popleft().succeed(item)
+            ev.succeed(None)
+        elif len(self._items) < self.capacity:
+            self._items.append(item)
+            ev.succeed(None)
+        else:
+            self._putters.append((ev, item))
+        return ev
+
+    def get(self) -> Event:
+        ev = Event(self.sim)
+        if self._items:
+            ev.succeed(self._items.popleft())
+            if self._putters:
+                put_ev, item = self._putters.popleft()
+                self._items.append(item)
+                put_ev.succeed(None)
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def try_get(self) -> Optional[Any]:
+        """Non-blocking get: pop and return an item, or ``None`` if empty."""
+        if not self._items:
+            return None
+        item = self._items.popleft()
+        if self._putters:
+            put_ev, pending = self._putters.popleft()
+            self._items.append(pending)
+            put_ev.succeed(None)
+        return item

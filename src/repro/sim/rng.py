@@ -1,0 +1,26 @@
+"""Deterministic random-number plumbing.
+
+Every stochastic component (workload generators, random access patterns,
+backoff jitter) takes a ``numpy.random.Generator`` derived here, so a run is
+fully determined by one root seed.  Independent streams come from
+``SeedSequence.spawn`` per NumPy's parallel-RNG guidance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["make_rng", "spawn_rngs"]
+
+
+def make_rng(seed: int | np.random.SeedSequence | None = 0) -> np.random.Generator:
+    """A PCG64 generator from an integer seed (or an existing SeedSequence)."""
+    if isinstance(seed, np.random.SeedSequence):
+        return np.random.Generator(np.random.PCG64(seed))
+    return np.random.Generator(np.random.PCG64(np.random.SeedSequence(seed)))
+
+
+def spawn_rngs(seed: int, n: int) -> list[np.random.Generator]:
+    """``n`` statistically independent generators from one root seed."""
+    root = np.random.SeedSequence(seed)
+    return [np.random.Generator(np.random.PCG64(child)) for child in root.spawn(n)]

@@ -1,0 +1,159 @@
+"""Measurement helpers: latency accumulators and throughput meters.
+
+The paper reports latency in microseconds and throughput in MOPS (million
+operations per second).  With simulator time in nanoseconds:
+
+* 1 op / 1000 ns == 1 MOPS, so ``MOPS = ops / elapsed_us``.
+* latency_us = latency_ns / 1000.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+__all__ = ["StatAccumulator", "RateMeter", "WindowedRate", "ns_to_us", "mops"]
+
+
+def ns_to_us(ns: float) -> float:
+    return ns / 1000.0
+
+
+def mops(ops: int, elapsed_ns: float) -> float:
+    """Million operations per second for ``ops`` completed in ``elapsed_ns``."""
+    if elapsed_ns <= 0:
+        return 0.0
+    return ops * 1000.0 / elapsed_ns
+
+
+class StatAccumulator:
+    """Streaming count/mean/min/max/variance (Welford) for latency samples."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.count = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def add(self, x: float) -> None:
+        self.count += 1
+        delta = x - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (x - self.mean)
+        if x < self.min:
+            self.min = x
+        if x > self.max:
+            self.max = x
+
+    @property
+    def variance(self) -> float:
+        return self._m2 / (self.count - 1) if self.count > 1 else 0.0
+
+    @property
+    def stdev(self) -> float:
+        return math.sqrt(self.variance)
+
+    def merge(self, other: "StatAccumulator") -> None:
+        """Fold another accumulator in (parallel Welford merge)."""
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count = other.count
+            self.mean = other.mean
+            self._m2 = other._m2
+            self.min = other.min
+            self.max = other.max
+            return
+        total = self.count + other.count
+        delta = other.mean - self.mean
+        self._m2 += other._m2 + delta * delta * self.count * other.count / total
+        self.mean += delta * other.count / total
+        self.count = total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"StatAccumulator({self.name!r}, n={self.count}, "
+            f"mean={self.mean:.1f}, min={self.min:.1f}, max={self.max:.1f})"
+        )
+
+
+class RateMeter:
+    """Counts completions between ``start()`` and ``stop()`` marks.
+
+    ``start`` is typically called after a warm-up phase so the measured rate
+    is steady-state, matching how the paper's benchmarks are averaged.
+    """
+
+    def __init__(self, sim, name: str = ""):
+        self.sim = sim
+        self.name = name
+        self.ops = 0
+        self.bytes = 0
+        self._t0: Optional[float] = None
+        self._t1: Optional[float] = None
+
+    def start(self) -> None:
+        self._t0 = self.sim.now
+        self.ops = 0
+        self.bytes = 0
+
+    def stop(self) -> None:
+        self._t1 = self.sim.now
+
+    @property
+    def running(self) -> bool:
+        return self._t0 is not None and self._t1 is None
+
+    def record(self, n: int = 1, nbytes: int = 0) -> None:
+        if self.running:
+            self.ops += n
+            self.bytes += nbytes
+
+    @property
+    def elapsed_ns(self) -> float:
+        if self._t0 is None:
+            return 0.0
+        end = self._t1 if self._t1 is not None else self.sim.now
+        return end - self._t0
+
+    @property
+    def mops(self) -> float:
+        return mops(self.ops, self.elapsed_ns)
+
+    @property
+    def gbps(self) -> float:
+        """Goodput in gigabytes per second."""
+        e = self.elapsed_ns
+        return self.bytes / e if e > 0 else 0.0  # bytes/ns == GB/s
+
+
+class WindowedRate:
+    """Throughput sampled over fixed windows, for convergence checks."""
+
+    def __init__(self, sim, window_ns: float):
+        if window_ns <= 0:
+            raise ValueError("window must be positive")
+        self.sim = sim
+        self.window_ns = window_ns
+        self._window_start = sim.now
+        self._window_ops = 0
+        self.samples: list[float] = []
+
+    def record(self, n: int = 1) -> None:
+        now = self.sim.now
+        while now - self._window_start >= self.window_ns:
+            self.samples.append(mops(self._window_ops, self.window_ns))
+            self._window_start += self.window_ns
+            self._window_ops = 0
+        self._window_ops += n
+
+    def steady_mops(self, skip: int = 1) -> float:
+        """Mean of samples after dropping the first ``skip`` warm-up windows."""
+        usable = self.samples[skip:]
+        if not usable:
+            return 0.0
+        return sum(usable) / len(usable)

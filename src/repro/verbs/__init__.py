@@ -1,0 +1,48 @@
+"""RDMA verbs layer: the ibverbs-style API the paper's code is written to.
+
+One-sided (memory-semantic) verbs — ``RDMA Write``, ``RDMA Read``,
+``RDMA Atomic`` (compare-and-swap, fetch-and-add) — execute entirely in the
+hardware models without any remote-CPU process.  Two-sided (channel
+semantic) ``Send``/``Recv`` deliver into a receive queue that a remote CPU
+thread must poll.  Only the RC (reliable connection) transport is modeled,
+as in the paper.
+
+Typical use::
+
+    ctx = RdmaContext(cluster)
+    mr  = ctx.register(machine=1, size=2 * GB, socket=0)
+    qp  = ctx.create_qp(local=0, remote=1)
+    w   = Worker(ctx, machine=0, socket=0)
+
+    def client():
+        comp = yield from w.write(qp, lmr, 0, mr, 128, 64)
+        comp = yield from w.cas(qp, mr, 0, expected=0, desired=1)
+"""
+
+from repro.verbs.types import (
+    Completion,
+    CompletionStatus,
+    Opcode,
+    Sge,
+    WorkRequest,
+)
+from repro.verbs.mr import MemoryRegion
+from repro.verbs.cq import CompletionQueue
+from repro.verbs.qp import QueuePair
+from repro.verbs.trace import OpRecord, OpTracer
+from repro.verbs.verbs import RdmaContext, Worker
+
+__all__ = [
+    "Completion",
+    "CompletionQueue",
+    "CompletionStatus",
+    "MemoryRegion",
+    "Opcode",
+    "OpRecord",
+    "OpTracer",
+    "QueuePair",
+    "RdmaContext",
+    "Sge",
+    "WorkRequest",
+    "Worker",
+]

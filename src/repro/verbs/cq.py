@@ -1,0 +1,49 @@
+"""Completion queues."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim import Simulator, Store
+from repro.verbs.types import Completion
+
+__all__ = ["CompletionQueue"]
+
+
+class CompletionQueue:
+    """Holds CQEs produced by the hardware; CPUs poll or block on it.
+
+    SQ and RQ may share a CQ or use distinct ones (Section II-A); the
+    context creates one per QP by default.
+    """
+
+    def __init__(self, sim: Simulator, name: str = ""):
+        self.sim = sim
+        self.name = name
+        self._store = Store(sim, name=name)
+        self.produced = 0
+        self.consumed = 0
+
+    def push(self, completion: Completion) -> None:
+        """Hardware-side: deposit a CQE."""
+        self.produced += 1
+        self._store.put(completion)
+
+    def poll(self) -> Optional[Completion]:
+        """Non-blocking poll, as ``ibv_poll_cq`` (returns None if empty)."""
+        cqe = self._store.try_get()
+        if cqe is not None:
+            self.consumed += 1
+        return cqe
+
+    def wait(self):
+        """Event whose value is the next CQE (blocking reap)."""
+        ev = self._store.get()
+        ev.add_callback(lambda _e: self._count())
+        return ev
+
+    def _count(self) -> None:
+        self.consumed += 1
+
+    def __len__(self) -> int:
+        return len(self._store)

@@ -1,0 +1,339 @@
+"""Queue pairs and the per-operation hardware pipeline.
+
+``post_send`` hands a work request to the hardware and returns an event
+that fires with the :class:`Completion`.  The pipeline follows the paper's
+end-to-end decomposition (Section II-B3/B4):
+
+1. RNIC DMA-reads the WQE (and the payload, if not inlined) over PCIe,
+   paying QPI penalties for cross-socket buffers;
+2. the requester execution unit processes the WQE — translation-cache
+   lookups for every touched page, per-SGE gather overhead, then
+   ``max(processing, wire serialization)`` (packet throttling);
+3. the fabric adds switch+wire latency;
+4. the responder RNIC translates the remote pages and DMA-writes/-reads
+   host memory (atomic ops serialize on the responder's atomic unit);
+5. the ACK/response returns and a CQE is DMA'd to the host.
+
+CPU-side costs (WQE prep, doorbell MMIO, CQE polling) are charged to the
+*calling thread* by :class:`repro.verbs.verbs.Worker`, not here — hardware
+and software costs are strictly separated, which is what lets the three
+vector-IO strategies differ.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Generator, Optional
+
+from repro.hw.machine import Machine
+from repro.hw.rnic import RnicPort
+from repro.sim import Event, Simulator, Store
+from repro.verbs.cq import CompletionQueue
+from repro.verbs.types import Completion, CompletionStatus, Opcode, WorkRequest
+
+__all__ = ["QueuePair"]
+
+_qp_ids = itertools.count(1)
+
+#: Size of one work-queue entry in host memory (ConnectX-3 uses 64 B
+#: squashed WQEs for short SGLs; each extra SGE adds a 16 B segment).
+WQE_BYTES = 64
+SGE_SEG_BYTES = 16
+
+
+class QueuePair:
+    """An RC connection between a local port and a remote port."""
+
+    #: Default send-queue depth (outstanding WRs before posting fails with
+    #: the verbs-equivalent of ENOMEM), a typical RC QP configuration.
+    DEFAULT_MAX_SEND_WR = 256
+
+    def __init__(self, sim: Simulator, local_machine: Machine,
+                 remote_machine: Machine, local_port: RnicPort,
+                 remote_port: RnicPort, sq_socket: Optional[int] = None,
+                 cq: Optional[CompletionQueue] = None,
+                 recv_queue: Optional[Store] = None,
+                 max_send_wr: int = DEFAULT_MAX_SEND_WR):
+        self.sim = sim
+        self.qp_id = next(_qp_ids)
+        self.local_machine = local_machine
+        self.remote_machine = remote_machine
+        self.local_port = local_port
+        self.remote_port = remote_port
+        #: Socket holding the SQ ring (where WQEs are DMA-fetched from).
+        self.sq_socket = sq_socket if sq_socket is not None else local_port.socket
+        # Note: `cq or ...` would discard an empty CQ (it is falsy).
+        self.cq = cq if cq is not None else CompletionQueue(
+            sim, name=f"qp{self.qp_id}.cq")
+        #: Channel-semantic receive side (SEND lands here).  A shared store
+        #: may be injected so one server thread can serve many client QPs.
+        self.recv_queue = recv_queue if recv_queue is not None else Store(
+            sim, name=f"qp{self.qp_id}.rq")
+        if max_send_wr < 1:
+            raise ValueError(f"max_send_wr must be >= 1: {max_send_wr}")
+        self.max_send_wr = max_send_wr
+        self.posted = 0
+        self.completed = 0
+        # RC delivers completions strictly in posting order; ops that ride
+        # different internal resources (atomics vs reads) must not overtake.
+        self._last_completion: Optional[Event] = None
+        #: Optional OpTracer (see repro.verbs.trace); set by
+        #: RdmaContext.attach_tracer or directly.  None = no overhead.
+        self.tracer = None
+
+    @property
+    def outstanding(self) -> int:
+        """WRs posted but not yet completed (SQ occupancy)."""
+        return self.posted - self.completed
+
+    def _check_sq_room(self, n: int) -> None:
+        if self.outstanding + n > self.max_send_wr:
+            raise RuntimeError(
+                f"send queue of QP {self.qp_id} full: {self.outstanding} "
+                f"outstanding + {n} > max_send_wr {self.max_send_wr} "
+                "(reap completions before posting more)")
+
+    @property
+    def params(self):
+        return self.local_machine.params
+
+    # ------------------------------------------------------------------ API
+    def post_send(self, wr: WorkRequest) -> Event:
+        """Hand one WR to the hardware; returns its completion event."""
+        wr.validate()
+        self._check_sq_room(1)
+        done = Event(self.sim)
+        prev, self._last_completion = self._last_completion, done
+        self.posted += 1
+        self.sim.process(self._execute(wr, done, fetch_wqe=True, prev=prev),
+                         name=f"qp{self.qp_id}.{wr.opcode.value}")
+        return done
+
+    def post_send_batch(self, wrs: list[WorkRequest]) -> list[Event]:
+        """Doorbell batching: one MMIO (charged by the Worker), one chained
+        WQE fetch, then the WQEs execute back-to-back."""
+        if not wrs:
+            raise ValueError("empty doorbell batch")
+        for wr in wrs:
+            wr.validate()
+        self._check_sq_room(len(wrs))
+        self.posted += len(wrs)
+        events = [Event(self.sim) for _ in wrs]
+        prev, self._last_completion = self._last_completion, events[-1]
+        self.sim.process(self._execute_batch(wrs, events, prev),
+                         name=f"qp{self.qp_id}.doorbell[{len(wrs)}]")
+        return events
+
+    def recv(self) -> Event:
+        """Event carrying the next inbound SEND as a Completion."""
+        return self.recv_queue.get()
+
+    # -------------------------------------------------------------- pipeline
+    def _wqe_bytes(self, wr: WorkRequest) -> int:
+        return WQE_BYTES + max(0, wr.n_sge - 1) * SGE_SEG_BYTES
+
+    def _execute_batch(self, wrs: list[WorkRequest], events: list[Event],
+                       prev: Optional[Event]) -> Generator:
+        # One chained DMA fetch for the whole WQE list (the doorbell win).
+        total_wqe = sum(self._wqe_bytes(w) for w in wrs)
+        yield from self.local_port.pcie.dma(total_wqe, self.sq_socket)
+        for wr, ev in zip(wrs, events):
+            # WQEs of one doorbell run back-to-back through the pipeline;
+            # each chains on its predecessor for in-order completion.
+            self.sim.process(self._execute(wr, ev, fetch_wqe=False,
+                                           prev=prev),
+                             name=f"qp{self.qp_id}.{wr.opcode.value}")
+            prev = ev
+            yield self.sim.timeout(0)
+
+    def _execute(self, wr: WorkRequest, done: Event, fetch_wqe: bool,
+                 prev: Optional[Event] = None) -> Generator:
+        p = self.params
+        lport, rport = self.local_port, self.remote_port
+        lrnic, rrnic = self.local_machine.rnic, self.remote_machine.rnic
+        tracer = self.tracer
+        record = (tracer.begin(wr.opcode.value, wr.total_length, self.sim.now)
+                  if tracer is not None else None)
+        _mark = self.sim.now
+
+        def stamp(stage: str) -> None:
+            nonlocal _mark
+            if record is not None:
+                now = self.sim.now
+                record.stages[stage] = record.stages.get(stage, 0.0) \
+                    + (now - _mark)
+                _mark = now
+
+        # 1. WQE fetch (skipped when a doorbell batch prefetched it).
+        if fetch_wqe:
+            yield from lport.pcie.dma(self._wqe_bytes(wr), self.sq_socket)
+        stamp("wqe_fetch")
+
+        # 2+3. Requester execution with cut-through payload fetch: the PCIe
+        # DMA of the payload streams concurrently with WQE processing and
+        # wire serialization (the RNIC serializes bytes as they arrive), so
+        # both resources are held but the latency is their max.
+        outbound = wr.total_length if wr.opcode in (Opcode.WRITE, Opcode.SEND) else 0
+        inline = outbound <= p.max_inline_bytes
+        extra = lrnic.qp_context(self.qp_id)
+        for sge in wr.sgl:
+            extra += lrnic.translate(sge.mr.page_keys(sge.offset, sge.length))
+        exec_ns = {
+            Opcode.WRITE: p.exec_write_ns,
+            Opcode.SEND: p.exec_write_ns,
+            Opcode.READ: p.exec_read_ns,
+            Opcode.CAS: p.exec_write_ns,
+            Opcode.FAA: p.exec_write_ns,
+        }[wr.opcode]
+        wire_payload = outbound if outbound else 16  # request header only
+        if outbound and not inline:
+            buf_socket = wr.sgl[0].mr.socket if wr.sgl else lport.socket
+            fetch = self.sim.process(
+                lport.pcie.dma(outbound, buf_socket, segments=wr.n_sge))
+            tx = self.sim.process(
+                lport.exec_tx(exec_ns, wire_payload, wr.n_sge, extra))
+            yield self.sim.all_of([fetch, tx])
+        else:
+            yield from lport.exec_tx(exec_ns, wire_payload, wr.n_sge, extra)
+        # Cut-through folds the payload fetch into this window.
+        stamp("exec")
+
+        # 4. Fabric.
+        yield self.sim.timeout(lrnic.switch.traverse_ns())
+        stamp("network")
+
+        # 5. Responder.
+        value = None
+        status = CompletionStatus.SUCCESS
+        response_payload = 0
+        r_extra = rrnic.qp_context(self.qp_id)
+        if wr.opcode.is_atomic:
+            rmr = wr.remote_mr
+            r_extra += rrnic.translate(rmr.page_keys(wr.remote_offset, 8))
+            r_extra += self.remote_machine.topology.cross_penalty(
+                rport.socket, rmr.socket)
+            # Same-word atomics serialize device-wide, then occupy the
+            # port's atomic unit for the RMW itself.
+            word_lock = rrnic.atomic_word_lock(
+                (rmr.mr_id, wr.remote_offset))
+            yield word_lock.acquire()
+            try:
+                yield from rport.exec_atomic(extra_ns=r_extra)
+                value = self._apply_atomic(wr)
+            finally:
+                word_lock.release()
+            response_payload = 8
+        elif wr.opcode is Opcode.WRITE:
+            rmr = wr.remote_mr
+            r_extra += rrnic.translate(
+                rmr.page_keys(wr.remote_offset, wr.total_length))
+            # Inbound DMA to the alternate socket partially stalls the
+            # responder pipeline (Section II-B4).
+            r_extra += (p.responder_cross_exposure
+                        * self.remote_machine.topology.cross_penalty(
+                            rport.socket, rmr.socket))
+            # A plain write to a word that atomics are hammering (a lock
+            # release) serializes with the device-wide RMW lock — this is
+            # what makes contended remote spinlock handover expensive.
+            word_lock = None
+            if wr.total_length == 8:
+                word_lock = rrnic._atomic_locks.get(
+                    (rmr.mr_id, wr.remote_offset))
+            if word_lock is not None:
+                yield word_lock.acquire()
+            try:
+                # Cut-through drain: the responder DMA-writes packets to
+                # host memory while later packets are still arriving.
+                rx = self.sim.process(rport.exec_rx(
+                    p.responder_ns, extra_ns=r_extra,
+                    payload_bytes=wr.total_length))
+                drain = self.sim.process(
+                    rport.pcie.dma(wr.total_length, rmr.socket))
+                yield self.sim.all_of([rx, drain])
+            finally:
+                if word_lock is not None:
+                    word_lock.release()
+            if wr.move_data:
+                self._apply_write(wr)
+        elif wr.opcode is Opcode.READ:
+            rmr = wr.remote_mr
+            r_extra += rrnic.translate(
+                rmr.page_keys(wr.remote_offset, wr.total_length))
+            yield from rport.exec_rx(p.responder_ns, extra_ns=r_extra)
+            # Host-memory fetch turnaround: pure latency, pipelined by the
+            # hardware, so it does not occupy the responder unit.
+            yield self.sim.timeout(p.read_turnaround_ns)
+            yield from rport.pcie.dma(wr.total_length, rmr.socket)
+            # Response data serializes on the responder's link (this is why
+            # outbound READ underperforms inbound WRITE — Section IV-C).
+            yield from rport.exec_tx(p.responder_ns, wr.total_length)
+            response_payload = wr.total_length
+        elif wr.opcode is Opcode.SEND:
+            yield from rport.exec_rx(p.responder_ns, extra_ns=r_extra,
+                                     payload_bytes=wr.payload_bytes)
+            yield from rport.pcie.dma(max(wr.payload_bytes, 1), rport.socket)
+
+        stamp("responder")
+
+        # 6. ACK / response returns.
+        yield self.sim.timeout(lrnic.switch.traverse_ns())
+        stamp("response_net")
+
+        # 7. Local delivery: READ data scattered into local buffers; CQE DMA.
+        if wr.opcode is Opcode.READ:
+            buf_socket = wr.sgl[0].mr.socket
+            yield from lport.pcie.dma(
+                wr.total_length, buf_socket, segments=wr.n_sge)
+            if wr.move_data:
+                self._apply_read(wr)
+        if wr.opcode is Opcode.SEND:
+            # Deliver to the peer's receive queue (remote CPU will poll it).
+            self.recv_queue.put(Completion(
+                wr_id=wr.wr_id, opcode=Opcode.SEND, status=status,
+                timestamp_ns=self.sim.now, value=wr.payload,
+                byte_len=wr.payload_bytes))
+        if wr.signaled:
+            yield self.sim.timeout(p.cqe_dma_ns)
+        # RC in-order completion: never overtake an earlier WR on this QP.
+        if prev is not None and not prev.processed:
+            yield prev
+        stamp("delivery")
+        if record is not None:
+            tracer.commit(record, self.sim.now)
+        self.completed += 1
+        completion = Completion(
+            wr_id=wr.wr_id, opcode=wr.opcode, status=status,
+            timestamp_ns=self.sim.now, value=value,
+            byte_len=wr.total_length if not wr.opcode.is_atomic else 8)
+        if wr.signaled:
+            self.cq.push(completion)
+        done.succeed(completion)
+
+    # ---------------------------------------------------------- data plane
+    def _apply_write(self, wr: WorkRequest) -> None:
+        chunks = [sge.mr.read(sge.offset, sge.length) for sge in wr.sgl]
+        wr.remote_mr.write(wr.remote_offset, b"".join(chunks))
+
+    def _apply_read(self, wr: WorkRequest) -> None:
+        data = wr.remote_mr.read(wr.remote_offset, wr.total_length)
+        cursor = 0
+        for sge in wr.sgl:
+            sge.mr.write(sge.offset, data[cursor:cursor + sge.length])
+            cursor += sge.length
+
+    def _apply_atomic(self, wr: WorkRequest) -> int:
+        rmr = wr.remote_mr
+        old = rmr.read_u64(wr.remote_offset)
+        if wr.opcode is Opcode.CAS:
+            if old == wr.compare:
+                rmr.write_u64(wr.remote_offset, wr.swap)
+        else:  # FAA
+            rmr.write_u64(wr.remote_offset, old + wr.add)
+        return old
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<QP {self.qp_id} m{self.local_machine.machine_id}."
+            f"p{self.local_port.index} -> m{self.remote_machine.machine_id}."
+            f"p{self.remote_port.index}>"
+        )

@@ -1,0 +1,158 @@
+"""Per-operation stage tracing: the paper's latency decomposition, live.
+
+Section III-D decomposes a remote access as
+``T_RNIC->Socket + T_Socket->Memory + T_Network``; the tracer records the
+actual simulated duration of every pipeline stage of every traced WR, so
+the decomposition (and the cost of any placement/batching decision) can
+be read off instead of inferred.
+
+Attach with ``ctx.attach_tracer(OpTracer())`` — subsequent QPs inherit
+it; existing QPs are updated too.  Tracing is off by default and costs
+nothing when off.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.sim.stats import StatAccumulator
+
+__all__ = ["OpRecord", "OpTracer", "STAGES"]
+
+#: Stage names in pipeline order.
+STAGES = [
+    "wqe_fetch",      # RNIC DMA-reads the WQE (and doorbell batch lists)
+    "payload_fetch",  # payload DMA over PCIe (0 for inline/inbound ops)
+    "exec",           # requester execution unit (incl. translation, SGEs)
+    "network",        # outbound fabric traversal
+    "responder",      # remote RNIC processing + host-memory DMA
+    "response_net",   # ACK/response traversal back
+    "delivery",       # READ data scatter + CQE DMA
+]
+
+
+@dataclass
+class OpRecord:
+    """One traced work request."""
+
+    opcode: str
+    nbytes: int
+    start_ns: float
+    end_ns: float = 0.0
+    stages: dict = field(default_factory=dict)
+
+    @property
+    def latency_ns(self) -> float:
+        return self.end_ns - self.start_ns
+
+    def stage(self, name: str) -> float:
+        return self.stages.get(name, 0.0)
+
+
+class OpTracer:
+    """Collects OpRecords and aggregates per-stage statistics."""
+
+    def __init__(self, keep_records: bool = True, max_records: int = 100_000):
+        self.keep_records = keep_records
+        self.max_records = max_records
+        self.records: list[OpRecord] = []
+        self._stats: dict[tuple[str, str], StatAccumulator] = defaultdict(
+            StatAccumulator)
+        self._latency: dict[str, StatAccumulator] = defaultdict(
+            StatAccumulator)
+        self.dropped = 0
+
+    # -- recording (called from the QP pipeline) ---------------------------
+    def begin(self, opcode: str, nbytes: int, now: float) -> OpRecord:
+        return OpRecord(opcode=opcode, nbytes=nbytes, start_ns=now)
+
+    def commit(self, record: OpRecord, now: float) -> None:
+        record.end_ns = now
+        for stage, dur in record.stages.items():
+            self._stats[(record.opcode, stage)].add(dur)
+        self._latency[record.opcode].add(record.latency_ns)
+        if self.keep_records:
+            if len(self.records) < self.max_records:
+                self.records.append(record)
+            else:
+                self.dropped += 1
+
+    # -- queries -------------------------------------------------------------
+    def ops(self, opcode: Optional[str] = None) -> int:
+        if opcode is None:
+            return sum(acc.count for acc in self._latency.values())
+        return self._latency[opcode].count if opcode in self._latency else 0
+
+    def mean_latency_ns(self, opcode: str) -> float:
+        return self._latency[opcode].mean if opcode in self._latency else 0.0
+
+    def mean_stage_ns(self, opcode: str, stage: str) -> float:
+        key = (opcode, stage)
+        return self._stats[key].mean if key in self._stats else 0.0
+
+    def breakdown(self, opcode: str) -> dict[str, float]:
+        """Mean ns per stage for one opcode, pipeline order."""
+        return {s: self.mean_stage_ns(opcode, s) for s in STAGES}
+
+    def breakdown_table(self) -> str:
+        """ASCII table of the decomposition for every traced opcode."""
+        opcodes = sorted(self._latency)
+        lines = []
+        header = ["stage"] + [f"{op} (ns)" for op in opcodes]
+        widths = [max(len(h), 14) for h in header]
+        lines.append("  ".join(h.rjust(w) for h, w in zip(header, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for stage in STAGES:
+            row = [stage] + [f"{self.mean_stage_ns(op, stage):.0f}"
+                             for op in opcodes]
+            lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+        total = ["total latency"] + [f"{self.mean_latency_ns(op):.0f}"
+                                     for op in opcodes]
+        lines.append("  ".join(c.rjust(w) for c, w in zip(total, widths)))
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        self.records.clear()
+        self._stats.clear()
+        self._latency.clear()
+        self.dropped = 0
+
+    # -- export ---------------------------------------------------------------
+    def to_chrome_trace(self) -> list[dict]:
+        """Records as Chrome-tracing events (``chrome://tracing`` /
+        Perfetto JSON array format; timestamps in microseconds).
+
+        Each op is a track (tid = opcode), each stage a complete event,
+        so the pipeline renders as a waterfall.
+        """
+        events: list[dict] = []
+        tids = {}
+        for record in self.records:
+            tid = tids.setdefault(record.opcode, len(tids) + 1)
+            cursor = record.start_ns
+            for stage in STAGES:
+                dur = record.stages.get(stage, 0.0)
+                if dur <= 0:
+                    continue
+                events.append({
+                    "name": stage,
+                    "cat": record.opcode,
+                    "ph": "X",
+                    "ts": cursor / 1000.0,
+                    "dur": dur / 1000.0,
+                    "pid": 1,
+                    "tid": tid,
+                    "args": {"bytes": record.nbytes},
+                })
+                cursor += dur
+        return events
+
+    def dump_chrome_trace(self, path) -> int:
+        """Write the Chrome trace JSON to ``path``; returns event count."""
+        import json
+        events = self.to_chrome_trace()
+        with open(path, "w") as fh:
+            json.dump(events, fh)
+        return len(events)

@@ -1,0 +1,140 @@
+"""Wire-level types: opcodes, scatter/gather elements, work requests, CQEs."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.verbs.mr import MemoryRegion
+
+__all__ = ["Opcode", "CompletionStatus", "Sge", "WorkRequest", "Completion"]
+
+
+class Opcode(enum.Enum):
+    """Verb opcodes.  WRITE/READ/CAS/FAA are memory semantic (one-sided);
+    SEND is channel semantic (two-sided)."""
+
+    WRITE = "write"
+    READ = "read"
+    CAS = "compare_and_swap"
+    FAA = "fetch_and_add"
+    SEND = "send"
+
+    @property
+    def one_sided(self) -> bool:
+        return self is not Opcode.SEND
+
+    @property
+    def is_atomic(self) -> bool:
+        return self in (Opcode.CAS, Opcode.FAA)
+
+
+class CompletionStatus(enum.Enum):
+    SUCCESS = "success"
+    REMOTE_ACCESS_ERROR = "remote_access_error"
+    LOCAL_ERROR = "local_error"
+
+
+@dataclass(frozen=True)
+class Sge:
+    """One scatter/gather element: a slice of a local memory region."""
+
+    mr: "MemoryRegion"
+    offset: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if self.offset < 0 or self.length < 0:
+            raise ValueError(f"bad SGE slice: offset={self.offset}, length={self.length}")
+        if self.offset + self.length > self.mr.size:
+            raise ValueError(
+                f"SGE [{self.offset}, {self.offset + self.length}) exceeds "
+                f"MR size {self.mr.size}"
+            )
+
+
+@dataclass
+class WorkRequest:
+    """A work queue entry, as posted to a QP's send queue.
+
+    * WRITE: gather ``sgl`` locally, write contiguously at
+      ``(remote_mr, remote_offset)``.
+    * READ: read ``length`` bytes from the remote location, scatter into
+      ``sgl`` (total SGE length must equal the read length).
+    * CAS: 8-byte compare-and-swap at the remote location
+      (``compare`` -> ``swap``); completion carries the *old* value.
+    * FAA: 8-byte fetch-and-add of ``add``; completion carries the old value.
+    * SEND: deliver ``payload`` (bytes and/or a Python object) to the
+      peer's receive queue; requires the remote CPU to post/poll receives.
+    """
+
+    opcode: Opcode
+    wr_id: int = 0
+    sgl: list[Sge] = field(default_factory=list)
+    remote_mr: Optional["MemoryRegion"] = None
+    remote_offset: int = 0
+    # atomics
+    compare: int = 0
+    swap: int = 0
+    add: int = 0
+    # SEND payload (object payloads model pre-serialized app messages)
+    payload: Any = None
+    payload_bytes: int = 0
+    #: If False, the data path is timed but no bytes are actually copied —
+    #: used by pure micro-benchmarks where content is irrelevant.
+    move_data: bool = True
+    #: Signaled WRs generate a CQE; unsignaled ones complete silently
+    #: (selective signaling, a standard RDMA optimization).
+    signaled: bool = True
+
+    @property
+    def total_length(self) -> int:
+        if self.opcode is Opcode.SEND:
+            return self.payload_bytes
+        if self.opcode.is_atomic:
+            return 8
+        return sum(sge.length for sge in self.sgl)
+
+    @property
+    def n_sge(self) -> int:
+        return max(1, len(self.sgl))
+
+    def validate(self) -> None:
+        if self.opcode.is_atomic:
+            if self.remote_mr is None:
+                raise ValueError("atomic WR requires a remote MR")
+            if self.remote_offset % 8:
+                raise ValueError("atomic WR must target an 8-byte aligned offset")
+            return
+        if self.opcode in (Opcode.WRITE, Opcode.READ):
+            if self.remote_mr is None:
+                raise ValueError(f"{self.opcode.name} WR requires a remote MR")
+            if not self.sgl:
+                raise ValueError(f"{self.opcode.name} WR requires at least one SGE")
+            end = self.remote_offset + self.total_length
+            if self.remote_offset < 0 or end > self.remote_mr.size:
+                raise ValueError(
+                    f"remote access [{self.remote_offset}, {end}) exceeds "
+                    f"MR size {self.remote_mr.size}"
+                )
+        if self.opcode is Opcode.SEND and self.payload_bytes < 0:
+            raise ValueError("negative SEND payload size")
+
+
+@dataclass(frozen=True)
+class Completion:
+    """A completion-queue entry."""
+
+    wr_id: int
+    opcode: Opcode
+    status: CompletionStatus
+    timestamp_ns: float
+    #: Old value for atomics; received object for SEND-side receives.
+    value: Any = None
+    byte_len: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.status is CompletionStatus.SUCCESS

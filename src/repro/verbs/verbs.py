@@ -1,0 +1,225 @@
+"""The context (device/PD/MR/QP management) and the Worker (a CPU thread).
+
+:class:`RdmaContext` owns registration and connection bookkeeping for a
+cluster.  :class:`Worker` represents one CPU thread pinned to a (machine,
+socket): all software costs — WQE preparation, doorbell MMIO (with QPI
+penalty when ringing a cross-socket port), memcpy gathers, CQE polling —
+are charged to the worker's timeline, so software-heavy strategies (SP)
+and hardware-heavy ones (SGL) trade off exactly as in Section III-A.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.hw.cluster import Cluster
+from repro.hw.dram import AccessPattern
+from repro.memory.allocator import RegionAllocator
+from repro.sim import Event, Simulator
+from repro.verbs.cq import CompletionQueue
+from repro.verbs.mr import MemoryRegion
+from repro.verbs.qp import QueuePair
+from repro.verbs.types import Completion, Opcode, Sge, WorkRequest
+
+__all__ = ["RdmaContext", "Worker"]
+
+
+class RdmaContext:
+    """Cluster-wide RDMA bookkeeping: memory registration and QPs."""
+
+    def __init__(self, cluster: Cluster):
+        self.cluster = cluster
+        self.sim: Simulator = cluster.sim
+        self.params = cluster.params
+        self.allocators = [RegionAllocator(cluster.params, m.machine_id)
+                           for m in cluster]
+        self.regions: list[MemoryRegion] = []
+        self.qps: list[QueuePair] = []
+        self.tracer = None
+
+    def attach_tracer(self, tracer) -> None:
+        """Enable per-op stage tracing (repro.verbs.trace.OpTracer) on all
+        current and future QPs of this context."""
+        self.tracer = tracer
+        for qp in self.qps:
+            qp.tracer = tracer
+
+    # -- memory -------------------------------------------------------------
+    def register(self, machine: int, size: int, socket: int = 0) -> MemoryRegion:
+        """Allocate and register ``size`` bytes on a machine's socket."""
+        buf = self.allocators[machine].allocate(size, socket)
+        mr = MemoryRegion(buf, self.params.translation_page_bytes)
+        self.regions.append(mr)
+        return mr
+
+    # -- connections ----------------------------------------------------------
+    def create_qp(self, local: int, remote: int, local_port: int = 0,
+                  remote_port: int = 0, sq_socket: Optional[int] = None,
+                  cq: Optional[CompletionQueue] = None,
+                  recv_queue=None,
+                  max_send_wr: int = QueuePair.DEFAULT_MAX_SEND_WR
+                  ) -> QueuePair:
+        """Connect an RC queue pair between two machines' ports."""
+        lm = self.cluster[local]
+        rm = self.cluster[remote]
+        if local == remote:
+            raise ValueError("loopback QPs are not modeled; use DramModel")
+        qp = QueuePair(self.sim, lm, rm, lm.port(local_port),
+                       rm.port(remote_port), sq_socket=sq_socket, cq=cq,
+                       recv_queue=recv_queue, max_send_wr=max_send_wr)
+        qp.tracer = self.tracer
+        self.qps.append(qp)
+        return qp
+
+
+class Worker:
+    """One CPU thread pinned to ``(machine, socket)``.
+
+    Methods are generators to be driven inside a simulation process; each
+    charges the appropriate CPU time before/after hardware interactions and
+    tracks cumulative busy time for the CPU-utilization study (Fig 18).
+    """
+
+    def __init__(self, ctx: RdmaContext, machine: int, socket: int = 0,
+                 name: str = ""):
+        self.ctx = ctx
+        self.sim = ctx.sim
+        self.params = ctx.params
+        self.machine = ctx.cluster[machine]
+        self.machine_id = machine
+        self.socket = socket
+        self.name = name or f"w{machine}.{socket}"
+        self.cpu_busy_ns = 0.0
+        self.ops = 0
+
+    # -- CPU accounting -------------------------------------------------------
+    def compute(self, ns: float) -> Generator:
+        """Spend ``ns`` of CPU time."""
+        if ns < 0:
+            raise ValueError(f"negative compute time: {ns}")
+        self.cpu_busy_ns += ns
+        yield self.sim.timeout(ns)
+
+    def memcpy(self, nbytes: int, src_socket: Optional[int] = None,
+               dst_socket: Optional[int] = None) -> Generator:
+        """Copy a buffer locally (the SP gather step)."""
+        cost = self.machine.dram.memcpy_ns(
+            nbytes, self.socket,
+            self.socket if src_socket is None else src_socket,
+            self.socket if dst_socket is None else dst_socket)
+        yield from self.compute(cost)
+
+    def local_write(self, nbytes: int, pattern: AccessPattern,
+                    mem_socket: Optional[int] = None) -> Generator:
+        cost = self.machine.dram.write_ns(
+            nbytes, pattern, self.socket,
+            self.socket if mem_socket is None else mem_socket)
+        yield from self.compute(cost)
+
+    def local_read(self, nbytes: int, pattern: AccessPattern,
+                   mem_socket: Optional[int] = None) -> Generator:
+        cost = self.machine.dram.read_ns(
+            nbytes, pattern, self.socket,
+            self.socket if mem_socket is None else mem_socket)
+        yield from self.compute(cost)
+
+    # -- posting ---------------------------------------------------------------
+    def post(self, qp: QueuePair, wr: WorkRequest) -> Generator:
+        """Prep one WQE, ring the doorbell; returns the completion event.
+
+        CPU cost: WQE prep (+ a small per-extra-SGE build cost) + MMIO,
+        with a QPI penalty if the QP's port hangs off another socket.
+        """
+        self._check_affinity(qp)
+        prep = self.params.cpu_wqe_prep_ns * (1 + 0.2 * (wr.n_sge - 1))
+        mmio = self.machine.topology.mmio_time(self.socket, qp.local_port.socket)
+        yield from self.compute(prep + mmio)
+        return qp.post_send(wr)
+
+    def post_batch(self, qp: QueuePair, wrs: list[WorkRequest]) -> Generator:
+        """Doorbell batching: k WQE preps but a single MMIO (Section III-A)."""
+        self._check_affinity(qp)
+        prep = sum(self.params.cpu_wqe_prep_ns * (1 + 0.2 * (w.n_sge - 1))
+                   for w in wrs)
+        mmio = self.machine.topology.mmio_time(self.socket, qp.local_port.socket)
+        yield from self.compute(prep + mmio)
+        return qp.post_send_batch(wrs)
+
+    def wait(self, completion_event: Event) -> Generator:
+        """Block on a completion, then pay the CQE poll cost."""
+        completion: Completion = yield completion_event
+        yield from self.compute(self.params.cpu_poll_ns)
+        self.ops += 1
+        return completion
+
+    def execute(self, qp: QueuePair, wr: WorkRequest) -> Generator:
+        """Synchronous post + wait."""
+        ev = yield from self.post(qp, wr)
+        return (yield from self.wait(ev))
+
+    def _check_affinity(self, qp: QueuePair) -> None:
+        if qp.local_machine is not self.machine:
+            raise ValueError(
+                f"worker on machine {self.machine_id} cannot post to a QP "
+                f"of machine {qp.local_machine.machine_id}"
+            )
+
+    # -- one-sided convenience wrappers ---------------------------------------
+    def write(self, qp: QueuePair, local_mr: MemoryRegion, local_offset: int,
+              remote_mr: MemoryRegion, remote_offset: int, length: int,
+              move_data: bool = True, signaled: bool = True,
+              wr_id: int = 0) -> Generator:
+        wr = WorkRequest(
+            Opcode.WRITE, wr_id=wr_id,
+            sgl=[Sge(local_mr, local_offset, length)],
+            remote_mr=remote_mr, remote_offset=remote_offset,
+            move_data=move_data, signaled=signaled)
+        return (yield from self.execute(qp, wr))
+
+    def read(self, qp: QueuePair, local_mr: MemoryRegion, local_offset: int,
+             remote_mr: MemoryRegion, remote_offset: int, length: int,
+             move_data: bool = True, signaled: bool = True,
+             wr_id: int = 0) -> Generator:
+        wr = WorkRequest(
+            Opcode.READ, wr_id=wr_id,
+            sgl=[Sge(local_mr, local_offset, length)],
+            remote_mr=remote_mr, remote_offset=remote_offset,
+            move_data=move_data, signaled=signaled)
+        return (yield from self.execute(qp, wr))
+
+    def cas(self, qp: QueuePair, remote_mr: MemoryRegion, remote_offset: int,
+            compare: int, swap: int, wr_id: int = 0) -> Generator:
+        """Compare-and-swap; the returned completion's value is the OLD
+        word, so success means ``completion.value == compare``."""
+        wr = WorkRequest(Opcode.CAS, wr_id=wr_id, remote_mr=remote_mr,
+                         remote_offset=remote_offset, compare=compare,
+                         swap=swap)
+        return (yield from self.execute(qp, wr))
+
+    def faa(self, qp: QueuePair, remote_mr: MemoryRegion, remote_offset: int,
+            add: int, wr_id: int = 0) -> Generator:
+        """Fetch-and-add; completion.value is the pre-add value."""
+        wr = WorkRequest(Opcode.FAA, wr_id=wr_id, remote_mr=remote_mr,
+                         remote_offset=remote_offset, add=add)
+        return (yield from self.execute(qp, wr))
+
+    def send(self, qp: QueuePair, payload: Any, payload_bytes: int,
+             wr_id: int = 0) -> Generator:
+        """Two-sided SEND (channel semantics), waited to completion."""
+        wr = WorkRequest(Opcode.SEND, wr_id=wr_id, payload=payload,
+                         payload_bytes=payload_bytes)
+        return (yield from self.execute(qp, wr))
+
+    def send_async(self, qp: QueuePair, payload: Any, payload_bytes: int,
+                   wr_id: int = 0) -> Generator:
+        """Post a SEND without waiting for its completion (how servers keep
+        responses off their critical path); returns the completion event."""
+        wr = WorkRequest(Opcode.SEND, wr_id=wr_id, payload=payload,
+                         payload_bytes=payload_bytes, signaled=False)
+        return (yield from self.post(qp, wr))
+
+    def recv(self, qp: QueuePair) -> Generator:
+        """Block until an inbound SEND arrives; pays the poll cost."""
+        completion: Completion = yield qp.recv()
+        yield from self.compute(self.params.cpu_poll_ns)
+        return completion

@@ -1,0 +1,17 @@
+"""Workload generators for the four case studies."""
+
+from repro.workloads.zipf import ZipfGenerator
+from repro.workloads.ycsb import Op, OpKind, YcsbWorkload
+from repro.workloads.tables import Relation, generate_relation
+from repro.workloads.stream import KvStream, partition_by_hash
+
+__all__ = [
+    "KvStream",
+    "Op",
+    "OpKind",
+    "Relation",
+    "YcsbWorkload",
+    "ZipfGenerator",
+    "generate_relation",
+    "partition_by_hash",
+]

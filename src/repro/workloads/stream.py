@@ -1,0 +1,53 @@
+"""Key-value streams for the distributed shuffle (Section IV-C)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["KvStream", "partition_by_hash"]
+
+
+def partition_by_hash(keys: np.ndarray, n_destinations: int) -> np.ndarray:
+    """The shuffle rule: destination executor per entry."""
+    if n_destinations < 1:
+        raise ValueError(f"need >= 1 destinations, got {n_destinations}")
+    mixed = (keys.astype(np.uint64)
+             * np.uint64(0x9E3779B97F4A7C15)) >> np.uint64(40)
+    return (mixed % np.uint64(n_destinations)).astype(np.int64)
+
+
+class KvStream:
+    """A reproducible stream of (key, value) entries for one executor."""
+
+    def __init__(self, n_entries: int, entry_bytes: int = 64,
+                 key_space: int = 1 << 20, seed: int = 0):
+        if n_entries < 1:
+            raise ValueError(f"n_entries must be >= 1: {n_entries}")
+        if entry_bytes < 8:
+            raise ValueError(f"entries carry an 8 B key: {entry_bytes}")
+        rng = np.random.default_rng(seed)
+        self.keys = rng.integers(0, key_space, size=n_entries, dtype=np.int64)
+        self.values = rng.integers(0, 2**62, size=n_entries, dtype=np.int64)
+        self.entry_bytes = entry_bytes
+
+    @classmethod
+    def from_arrays(cls, keys: np.ndarray, values: np.ndarray,
+                    entry_bytes: int = 64) -> "KvStream":
+        """Wrap existing key/value arrays (the join's relation slices)."""
+        if len(keys) != len(values):
+            raise ValueError("keys and values must be the same length")
+        if len(keys) < 1:
+            raise ValueError("stream must not be empty")
+        stream = cls.__new__(cls)
+        stream.keys = np.asarray(keys, dtype=np.int64)
+        stream.values = np.asarray(values, dtype=np.int64)
+        if entry_bytes < 8:
+            raise ValueError(f"entries carry an 8 B key: {entry_bytes}")
+        stream.entry_bytes = entry_bytes
+        return stream
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    def destinations(self, n: int) -> np.ndarray:
+        return partition_by_hash(self.keys, n)

@@ -1,0 +1,59 @@
+"""Relation generators for the distributed join (Section IV-D).
+
+The paper joins a fixed-size inner/outer relation of 16 M tuples each
+(Fig 16) and scales to 2^24..2^26 (Fig 17).  Tuples are (key, payload)
+pairs; keys are drawn so that the equi-join has a controlled match rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Relation", "generate_relation"]
+
+
+@dataclass
+class Relation:
+    """A column-oriented relation: parallel key/payload arrays."""
+
+    keys: np.ndarray       # int64 join keys
+    payloads: np.ndarray   # int64 opaque payloads
+    tuple_bytes: int = 16  # 8 B key + 8 B payload on the wire
+
+    def __post_init__(self) -> None:
+        if self.keys.shape != self.payloads.shape:
+            raise ValueError("keys and payloads must be the same length")
+        if self.tuple_bytes < 16:
+            raise ValueError("tuples carry at least key+payload (16 B)")
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    def partition(self, n: int) -> np.ndarray:
+        """Destination executor of each tuple: ``hash(key) % n``."""
+        if n < 1:
+            raise ValueError(f"need at least one partition, got {n}")
+        # Fibonacci hashing: cheap, well-mixed, reproducible.
+        mixed = (self.keys.astype(np.uint64)
+                 * np.uint64(0x9E3779B97F4A7C15)) >> np.uint64(40)
+        return (mixed % np.uint64(n)).astype(np.int64)
+
+
+def generate_relation(n_tuples: int, key_space: int | None = None,
+                      seed: int = 0, tuple_bytes: int = 16) -> Relation:
+    """A relation of ``n_tuples`` with keys uniform over ``key_space``.
+
+    Joining two relations generated over the same ``key_space`` yields an
+    expected ``n_inner * n_outer / key_space`` result size.
+    """
+    if n_tuples < 1:
+        raise ValueError(f"n_tuples must be >= 1, got {n_tuples}")
+    space = key_space if key_space is not None else n_tuples
+    if space < 1:
+        raise ValueError(f"key_space must be >= 1, got {space}")
+    rng = np.random.default_rng(seed)
+    keys = rng.integers(0, space, size=n_tuples, dtype=np.int64)
+    payloads = rng.integers(0, 2**62, size=n_tuples, dtype=np.int64)
+    return Relation(keys, payloads, tuple_bytes)

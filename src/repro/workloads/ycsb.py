@@ -1,0 +1,95 @@
+"""YCSB-like key-value operation streams.
+
+The hashtable evaluation (Fig 12) uses "100% write workloads with 64-byte
+value-size" over a Zipf(0.99) key popularity; other mixes are provided for
+the extended experiments.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.workloads.zipf import ZipfGenerator
+
+__all__ = ["Op", "OpKind", "YcsbWorkload"]
+
+
+class OpKind(enum.Enum):
+    READ = "read"
+    WRITE = "write"
+    RMW = "read_modify_write"     # YCSB workload F's signature op
+
+
+@dataclass(frozen=True)
+class Op:
+    kind: OpKind
+    key: int            # popularity rank, 0 == hottest
+    value_size: int
+
+
+class YcsbWorkload:
+    """An infinite stream of KV operations.
+
+    ``rmw_ratio`` carves read-modify-write ops out of the write share
+    (workload F); the standard presets are available via
+    :meth:`preset`.
+    """
+
+    def __init__(self, n_keys: int = 100_000, theta: float = 0.99,
+                 write_ratio: float = 1.0, value_size: int = 64,
+                 rmw_ratio: float = 0.0,
+                 rng: np.random.Generator | None = None):
+        if not 0 <= write_ratio <= 1:
+            raise ValueError(f"write_ratio must be in [0, 1]: {write_ratio}")
+        if not 0 <= rmw_ratio <= 1:
+            raise ValueError(f"rmw_ratio must be in [0, 1]: {rmw_ratio}")
+        if value_size < 1:
+            raise ValueError(f"value_size must be >= 1: {value_size}")
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.zipf = ZipfGenerator(n_keys, theta, self.rng)
+        self.write_ratio = write_ratio
+        self.rmw_ratio = rmw_ratio
+        self.value_size = value_size
+
+    #: The YCSB core workloads, as (write_ratio, rmw_ratio, theta) knobs.
+    PRESETS = {
+        "A": dict(write_ratio=0.50, rmw_ratio=0.0, theta=0.99),   # update heavy
+        "B": dict(write_ratio=0.05, rmw_ratio=0.0, theta=0.99),   # read mostly
+        "C": dict(write_ratio=0.00, rmw_ratio=0.0, theta=0.99),   # read only
+        "D": dict(write_ratio=0.05, rmw_ratio=0.0, theta=1.20),   # read latest
+        "F": dict(write_ratio=0.50, rmw_ratio=1.0, theta=0.99),   # RMW
+    }
+
+    @classmethod
+    def preset(cls, name: str, n_keys: int = 100_000, value_size: int = 64,
+               rng: np.random.Generator | None = None) -> "YcsbWorkload":
+        """One of the standard YCSB core workloads (A/B/C/D/F).
+
+        Workload E (range scans) has no analogue over a hash-structured
+        store and is deliberately absent.
+        """
+        key = name.upper()
+        if key not in cls.PRESETS:
+            raise ValueError(
+                f"unknown YCSB preset {name!r}; choose from "
+                f"{sorted(cls.PRESETS)} (E needs range scans)")
+        return cls(n_keys=n_keys, value_size=value_size, rng=rng,
+                   **cls.PRESETS[key])
+
+    def ops(self, n: int) -> Iterator[Op]:
+        """``n`` operations, sampled lazily in chunks."""
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        keys = self.zipf.sample(n)
+        writes = self.rng.random(n) < self.write_ratio
+        rmws = self.rng.random(n) < self.rmw_ratio
+        for i in range(n):
+            if writes[i]:
+                kind = OpKind.RMW if rmws[i] else OpKind.WRITE
+            else:
+                kind = OpKind.READ
+            yield Op(kind, int(keys[i]), self.value_size)

@@ -1,0 +1,62 @@
+"""Zipfian key generator (YCSB-style).
+
+"According to recent surveys, the real-world key-value workloads have a
+skewed distribution" (Section IV-B) — the hashtable study uses Zipf with
+parameter 0.99, the YCSB default.  Keys are ranked by popularity: rank 0
+is the hottest.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ZipfGenerator"]
+
+
+class ZipfGenerator:
+    """Samples ranks ``0..n_keys-1`` with probability ∝ 1/(rank+1)^theta."""
+
+    def __init__(self, n_keys: int, theta: float = 0.99,
+                 rng: np.random.Generator | None = None):
+        if n_keys < 1:
+            raise ValueError(f"need at least one key, got {n_keys}")
+        if theta < 0:
+            raise ValueError(f"theta must be >= 0, got {theta}")
+        self.n_keys = n_keys
+        self.theta = theta
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        weights = 1.0 / np.power(np.arange(1, n_keys + 1, dtype=np.float64),
+                                 theta)
+        self._cdf = np.cumsum(weights)
+        self._total = self._cdf[-1]
+        self._cdf /= self._total
+        self._weights = weights / self._total
+
+    def sample(self, n: int = 1) -> np.ndarray:
+        """``n`` key ranks, hottest == 0."""
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        u = self.rng.random(n)
+        return np.searchsorted(self._cdf, u, side="right").astype(np.int64)
+
+    def one(self) -> int:
+        return int(self.sample(1)[0])
+
+    def hot_traffic_share(self, hot_keys: int) -> float:
+        """Fraction of requests that hit the ``hot_keys`` most popular keys.
+
+        This is the quantity Fig 13(a) sweeps: with theta=0.99, the top
+        1/4 of keys draw most of the traffic.
+        """
+        if not 0 <= hot_keys <= self.n_keys:
+            raise ValueError(
+                f"hot_keys must be in [0, {self.n_keys}], got {hot_keys}")
+        if hot_keys == 0:
+            return 0.0
+        return float(self._cdf[hot_keys - 1])
+
+    def hot_set_for_share(self, share: float) -> int:
+        """Smallest number of hot keys capturing >= ``share`` of traffic."""
+        if not 0 < share <= 1:
+            raise ValueError(f"share must be in (0, 1], got {share}")
+        return int(np.searchsorted(self._cdf, share, side="left")) + 1

@@ -1,0 +1,187 @@
+"""Tests for the distributed log: ordering, no-overlap, Fig 19 shape."""
+
+import pytest
+
+from repro import build
+from repro.apps.dlog import DistributedLog, LogConfig, TransactionEngine
+from repro.sim.stats import mops
+
+
+def make_log(n_engines=4, machines=8, **cfg_kw):
+    sim, cluster, ctx = build(machines=machines)
+    cfg = LogConfig(**cfg_kw)
+    log = DistributedLog(ctx, machine=0, config=cfg)
+    engines = []
+    fe_machines = [m for m in range(machines) if m != 0]
+    for i in range(n_engines):
+        socket = i % ctx.params.sockets_per_machine
+        machine = fe_machines[(i // 2) % len(fe_machines)]
+        engines.append(TransactionEngine(log, i, machine, socket))
+    return sim, ctx, log, engines
+
+
+# ----------------------------------------------------------------- validation
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        LogConfig(record_bytes=8)
+    with pytest.raises(ValueError):
+        LogConfig(record_bytes=100)       # not 8-aligned
+    with pytest.raises(ValueError):
+        LogConfig(batch=0)
+    with pytest.raises(ValueError):
+        LogConfig(capacity_records=0)
+    with pytest.raises(ValueError):
+        LogConfig(strategy="warp")
+
+
+def test_engine_not_on_log_machine():
+    sim, cluster, ctx = build(machines=2)
+    log = DistributedLog(ctx, 0, LogConfig())
+    with pytest.raises(ValueError):
+        TransactionEngine(log, 0, 0, 0)
+
+
+def test_sgl_batch_capped_at_max_sge():
+    sim, cluster, ctx = build(machines=2)
+    log = DistributedLog(ctx, 0, LogConfig(batch=64, strategy="sgl"))
+    with pytest.raises(ValueError, match="max_sge"):
+        TransactionEngine(log, 0, 1, 0)
+    # SP gathers through one staging buffer, so any batch size works.
+    log_sp = DistributedLog(ctx, 0, LogConfig(batch=64, strategy="sp"))
+    eng = TransactionEngine(log_sp, 0, 1, 0)
+
+    def client():
+        yield from eng.append_batch()
+
+    sim.run(until=sim.process(client()))
+    assert eng.appended == 64
+
+
+# -------------------------------------------------------------- correctness
+
+def test_single_engine_appends_in_order():
+    sim, ctx, log, engines = make_log(n_engines=1, batch=1)
+    eng = engines[0]
+
+    def client():
+        firsts = []
+        for _ in range(5):
+            firsts.append((yield from eng.append_batch()))
+        return firsts
+
+    firsts = sim.run(until=sim.process(client()))
+    assert firsts == [0, 1, 2, 3, 4]
+    sub = eng.sublog
+    assert log.head(sub) == 5
+    for seq in range(5):
+        engine_id, rec_seq, _ = log.record(sub, seq)
+        assert engine_id == 0 and rec_seq == seq
+
+
+def test_batched_append_reserves_consecutive_space():
+    sim, ctx, log, engines = make_log(n_engines=1, batch=8)
+    eng = engines[0]
+
+    def client():
+        a = yield from eng.append_batch()
+        b = yield from eng.append_batch()
+        return a, b
+
+    a, b = sim.run(until=sim.process(client()))
+    assert (a, b) == (0, 8)
+    assert eng.reservations == 2
+    assert eng.appended == 16
+    # Every record in [0, 16) is present with the right sequence stamp.
+    assert [s for _, s in log.scan(eng.sublog)] == list(range(16))
+
+
+def test_concurrent_engines_never_overlap():
+    """The FAA reservation tiles the log: no lost or duplicated slots."""
+    sim, ctx, log, engines = make_log(n_engines=4, batch=4, numa=False)
+
+    def client(eng):
+        for _ in range(6):
+            yield from eng.append_batch()
+
+    procs = [sim.process(client(e)) for e in engines]
+    for p in procs:
+        sim.run(until=p)
+    records = log.scan(0)
+    assert len(records) == 4 * 6 * 4
+    # Each record slot stamped with its own sequence exactly once.
+    assert [s for _, s in records] == list(range(len(records)))
+    # All engines contributed their full share.
+    from collections import Counter
+    by_engine = Counter(e for e, _ in records)
+    assert all(by_engine[e] == 24 for e in range(4))
+
+
+def test_numa_mode_splits_sublogs_by_socket():
+    sim, ctx, log, engines = make_log(n_engines=4, batch=2, numa=True)
+    assert log.n_sublogs == 2
+    assert engines[0].sublog == 0 and engines[1].sublog == 1
+
+    def client(eng):
+        for _ in range(3):
+            yield from eng.append_batch()
+
+    procs = [sim.process(client(e)) for e in engines]
+    for p in procs:
+        sim.run(until=p)
+    # Each sub-log is independently dense and totally ordered.
+    for sub in range(2):
+        records = log.scan(sub)
+        assert [s for _, s in records] == list(range(len(records)))
+    assert log.head(0) + log.head(1) == 4 * 3 * 2
+
+
+def test_log_capacity_exhaustion_detected():
+    sim, ctx, log, engines = make_log(n_engines=1, batch=4,
+                                      capacity_records=8)
+
+    def client():
+        for _ in range(3):
+            yield from engines[0].append_batch()
+
+    with pytest.raises(RuntimeError, match="capacity"):
+        sim.run(until=sim.process(client()))
+
+
+# ------------------------------------------------------------- Fig 19 shape
+
+def _log_mops(n_engines, batch, numa, appends=40):
+    sim, ctx, log, engines = make_log(
+        n_engines=n_engines, batch=batch, numa=numa, move_data=False,
+        capacity_records=1 << 18)
+    t0 = sim.now
+
+    def client(eng):
+        for _ in range(appends):
+            yield from eng.append_batch()
+
+    procs = [sim.process(client(e)) for e in engines]
+    for p in procs:
+        sim.run(until=p)
+    total = sum(e.appended for e in engines)
+    return mops(total, sim.now - t0)
+
+
+def test_fig19_batching_lifts_throughput_strongly():
+    """Paper: batch 32 is ~9.1x batch 1 with 7 engines."""
+    b1 = _log_mops(7, 1, numa=True)
+    b32 = _log_mops(7, 32, numa=True, appends=15)
+    assert b32 > 5 * b1
+
+
+def test_fig19_numa_awareness_gains_at_scale():
+    """Paper: 17.7 vs 15.5 MOPS at 14 engines (~14%)."""
+    naive = _log_mops(14, 32, numa=False, appends=12)
+    aware = _log_mops(14, 32, numa=True, appends=12)
+    assert aware > 1.05 * naive
+
+
+def test_fig19_more_engines_more_throughput():
+    e4 = _log_mops(4, 16, numa=True, appends=20)
+    e14 = _log_mops(14, 16, numa=True, appends=20)
+    assert e14 > 1.5 * e4

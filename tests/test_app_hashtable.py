@@ -1,0 +1,270 @@
+"""Tests for the disaggregated hashtable: correctness and optimization shape."""
+
+import pytest
+
+from repro import build
+from repro.apps.hashtable import (
+    DisaggregatedHashTable,
+    FrontEnd,
+    FrontEndConfig,
+    HashTableBackend,
+    TableLayout,
+)
+from repro.apps.hashtable.layout import ENTRY_BYTES, pack_entry, unpack_entry
+from repro.core.locks import BackoffPolicy
+from repro.sim import make_rng
+
+
+# ------------------------------------------------------------------ layout
+
+def test_entry_pack_unpack_roundtrip():
+    raw = pack_entry(42, 7, b"hello")
+    assert len(raw) == ENTRY_BYTES
+    key, version, value = unpack_entry(raw)
+    assert (key, version) == (42, 7)
+    assert value.rstrip(b"\x00") == b"hello"
+
+
+def test_entry_value_too_large():
+    with pytest.raises(ValueError):
+        pack_entry(1, 1, b"x" * 49)
+
+
+def test_layout_striping():
+    lay = TableLayout(n_keys=100, hot_keys=32, sockets=2, block_entries=16)
+    assert lay.cold_socket(4) == 0 and lay.cold_socket(5) == 1
+    assert lay.cold_offset(4) == 2 * ENTRY_BYTES
+    assert lay.is_hot(31) and not lay.is_hot(32)
+    # Hot keys stripe ACROSS blocks so the hottest ranks spread out.
+    assert lay.n_blocks == 2
+    assert lay.hot_block(17) == 1 and lay.hot_slot(17) == 8
+    assert lay.hot_block(0) == 0 and lay.hot_block(1) == 1
+    assert lay.block_socket(0) == 0 and lay.block_socket(1) == 1
+
+
+def test_layout_hot_slots_unique():
+    lay = TableLayout(n_keys=64, hot_keys=32, sockets=2, block_entries=8)
+    seen = {(lay.hot_block(k), lay.hot_slot(k)) for k in range(32)}
+    assert len(seen) == 32
+    assert all(s < lay.block_entries for _, s in seen)
+
+
+def test_layout_validation():
+    with pytest.raises(ValueError):
+        TableLayout(n_keys=0, hot_keys=0)
+    with pytest.raises(ValueError):
+        TableLayout(n_keys=10, hot_keys=11)
+    with pytest.raises(ValueError):
+        TableLayout(n_keys=10, hot_keys=5, block_entries=3)
+    lay = TableLayout(n_keys=10, hot_keys=8)
+    with pytest.raises(ValueError):
+        lay.cold_socket(10)
+    with pytest.raises(ValueError):
+        lay.hot_block(9)
+
+
+# ----------------------------------------------------------------- fixtures
+
+def make_table(n_fe=1, config=None, **kw):
+    sim, cluster, ctx = build(machines=4)
+    config = config or FrontEndConfig()
+    defaults = dict(n_keys=256, hot_fraction=0.25, block_entries=8)
+    defaults.update(kw)
+    table = DisaggregatedHashTable(ctx, n_fe, config, **defaults)
+    return sim, ctx, table
+
+
+# --------------------------------------------------------------- correctness
+
+def test_put_get_roundtrip_cold():
+    sim, ctx, table = make_table()
+    fe = table.frontends[0]
+
+    def client():
+        yield from fe.put(100, b"value-one")
+        result = yield from fe.get(100)
+        return result
+
+    version, value = sim.run(until=sim.process(client()))
+    assert version == 1
+    assert value.rstrip(b"\x00") == b"value-one"
+
+
+def test_get_missing_key_returns_none():
+    sim, ctx, table = make_table()
+    fe = table.frontends[0]
+
+    def client():
+        return (yield from fe.get(200))
+
+    assert sim.run(until=sim.process(client())) is None
+
+
+def test_put_get_roundtrip_hot_with_reorder():
+    sim, ctx, table = make_table(config=FrontEndConfig(
+        numa="matched", theta=4))
+    fe = table.frontends[0]
+
+    def client():
+        yield from fe.put(3, b"hot-value")       # key 3 is hot (top 25%)
+        local = yield from fe.get(3)             # read-your-writes (shadow)
+        yield from fe.flush_all()
+        remote = yield from fe.get(3)            # now from the back-end
+        return local, remote
+
+    local, remote = sim.run(until=sim.process(client()))
+    assert local[1].rstrip(b"\x00") == b"hot-value"
+    assert remote == local
+
+
+def test_hot_writes_flush_at_theta():
+    sim, ctx, table = make_table(config=FrontEndConfig(theta=4))
+    fe = table.frontends[0]
+    nb = table.layout.n_blocks
+    keys = [0, 0 + nb, 0 + 2 * nb, 0 + 3 * nb] * 2  # all land in block 0
+
+    def client():
+        for i, k in enumerate(keys):  # 8 modifications -> exactly 2 flushes
+            yield from fe.put(k, b"v%d" % i)
+
+    sim.run(until=sim.process(client()))
+    assert fe.flushes == 2
+    # Back-end now holds the flushed entries (key 0 was rewritten at i=4).
+    _, _, value = unpack_entry(table.backend.peek_hot(0))
+    assert value.rstrip(b"\x00") == b"v4"
+
+
+def test_concurrent_frontends_no_lost_slots():
+    """Two FEs writing DIFFERENT slots of the same hot block: the
+    merge-read flush protocol must preserve both."""
+    sim, ctx, table = make_table(
+        n_fe=2, config=FrontEndConfig(theta=2,
+                                      backoff=BackoffPolicy(base_ns=1000)))
+    fe0, fe1 = table.frontends
+
+    def client(fe, keys, tag):
+        for k in keys:
+            yield from fe.put(k, b"%s-%d" % (tag, k))
+        yield from fe.flush_all()
+
+    p0 = sim.process(client(fe0, [0, 1], b"a"))
+    p1 = sim.process(client(fe1, [2, 3], b"b"))
+    sim.run(until=p0)
+    sim.run(until=p1)
+    for k, tag in [(0, b"a"), (1, b"a"), (2, b"b"), (3, b"b")]:
+        key, version, value = unpack_entry(table.backend.peek_hot(k))
+        assert key == k
+        assert value.rstrip(b"\x00") == b"%s-%d" % (tag, k)
+    assert fe0.merge_reads + fe1.merge_reads >= 1
+
+
+def test_lease_bounds_hot_block_staleness():
+    """A dirty hot block below theta still reaches the back-end once its
+    lease expires — without any explicit flush."""
+    sim, ctx, table = make_table(config=FrontEndConfig(
+        numa="matched", theta=100, lease_ns=80_000))
+    fe = table.frontends[0]
+    fe.start_lease_daemon()
+
+    def client():
+        yield from fe.put(1, b"leased-value")    # hot, far below theta
+        yield sim.timeout(400_000)
+        fe.stop_lease_daemon()
+
+    sim.run(until=sim.process(client()))
+    sim.run()
+    assert fe.lease_flushes == 1
+    _, version, value = unpack_entry(table.backend.peek_hot(1))
+    assert version == 1
+    assert value.rstrip(b"\x00") == b"leased-value"
+
+
+def test_lease_config_validation():
+    with pytest.raises(ValueError):
+        FrontEndConfig(theta=4, lease_ns=0)
+    with pytest.raises(ValueError):
+        FrontEndConfig(lease_ns=1000)   # lease without a hot area
+    sim, ctx, table = make_table(config=FrontEndConfig(theta=4))
+    with pytest.raises(ValueError):
+        table.frontends[0].start_lease_daemon()
+
+
+def test_table_corruption_detected():
+    sim, ctx, table = make_table()
+    fe = table.frontends[0]
+    # Corrupt the backend slot for key 100 with a mismatched key + version.
+    mr, off = table.backend.cold_location(100)
+    mr.write(off, pack_entry(101, 5, b"evil"))
+
+    def client():
+        yield from fe.get(100)
+
+    with pytest.raises(RuntimeError, match="corruption"):
+        sim.run(until=sim.process(client()))
+
+
+# -------------------------------------------------------------- configuration
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        FrontEndConfig(numa="sideways")
+    with pytest.raises(ValueError):
+        FrontEndConfig(theta=0)
+
+
+def test_frontend_not_on_backend_machine():
+    sim, cluster, ctx = build(machines=2)
+    layout = TableLayout(n_keys=64, hot_keys=0, sockets=2)
+    backend = HashTableBackend(ctx, 0, layout)
+    with pytest.raises(ValueError):
+        FrontEnd(ctx, backend, 0, 0, FrontEndConfig())
+
+
+def test_table_constructor_validation():
+    sim, cluster, ctx = build(machines=4)
+    with pytest.raises(ValueError):
+        DisaggregatedHashTable(ctx, 0, FrontEndConfig())
+    with pytest.raises(ValueError):
+        DisaggregatedHashTable(ctx, 1, FrontEndConfig(), hot_fraction=1.5)
+
+
+def test_matched_mode_creates_per_socket_qps():
+    sim, ctx, table = make_table(config=FrontEndConfig(numa="matched"))
+    fe = table.frontends[0]
+    assert set(fe.qps) == {0, 1}
+    assert fe.qps[0].remote_port.socket == 0
+    assert fe.qps[1].remote_port.socket == 1
+
+
+# ------------------------------------------------------------- optimizations
+
+def _throughput(n_fe, config, measure_ns=600_000, **kw):
+    sim, ctx, table = make_table(n_fe=n_fe, config=config, **kw)
+    return table.run_throughput(measure_ns=measure_ns,
+                                warmup_ns=150_000).mops
+
+
+def _throughput8(n_fe, config, measure_ns=500_000):
+    sim, cluster, ctx = build(machines=8)
+    table = DisaggregatedHashTable(ctx, n_fe, config, n_keys=4096,
+                                   hot_fraction=0.125)
+    return table.run_throughput(measure_ns=measure_ns,
+                                warmup_ns=120_000).mops
+
+
+def test_fig12_shape_numa_beats_basic_at_saturation():
+    """Paper: NUMA-aware placement is ~14% over Basic once the back-end
+    saturates (Fig 12)."""
+    basic = _throughput8(12, FrontEndConfig(numa="none"))
+    numa = _throughput8(12, FrontEndConfig(numa="matched"))
+    assert 1.05 * basic < numa < 1.3 * basic
+
+
+def test_fig12_shape_reorder_beats_numa_substantially():
+    """Paper: consolidation lifts throughput 1.85x-2.70x over the basic /
+    NUMA-only configurations."""
+    numa = _throughput8(10, FrontEndConfig(numa="matched"))
+    reorder = _throughput8(10, FrontEndConfig(
+        numa="matched", theta=16, backoff=BackoffPolicy(base_ns=1000),
+        merge_flush=False))
+    assert reorder > 1.8 * numa

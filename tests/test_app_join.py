@@ -1,0 +1,164 @@
+"""Tests for the distributed join: exactness and Fig 16/17 shapes."""
+
+import pytest
+
+from repro import build
+from repro.apps.join import (
+    ConcurrentHashMap,
+    DistributedJoin,
+    JoinConfig,
+    single_machine_join_ns,
+)
+from repro.verbs import Worker
+from repro.workloads.tables import generate_relation
+
+
+# --------------------------------------------------------- ConcurrentHashMap
+
+def test_chm_insert_probe():
+    sim, cluster, ctx = build(machines=1)
+    w = Worker(ctx, 0)
+    cmap = ConcurrentHashMap()
+
+    def client():
+        yield from cmap.insert(w, 5, 100)
+        yield from cmap.insert(w, 5, 200)
+        hits = yield from cmap.probe(w, 5)
+        misses = yield from cmap.probe(w, 6)
+        return hits, misses
+
+    hits, misses = sim.run(until=sim.process(client()))
+    assert hits == [100, 200]
+    assert misses == []
+    assert len(cmap) == 2
+
+
+def test_chm_bulk_matches_reference():
+    sim, cluster, ctx = build(machines=1)
+    w = Worker(ctx, 0)
+    cmap = ConcurrentHashMap()
+
+    def client():
+        yield from cmap.insert_many(w, [1, 2, 2, 3], [10, 20, 21, 30])
+        return (yield from cmap.probe_many(w, [2, 3, 4]))
+
+    assert sim.run(until=sim.process(client())) == 3  # two 2s + one 3
+
+
+def test_chm_thread_penalty_and_validation():
+    sim, cluster, ctx = build(machines=1)
+    w = Worker(ctx, 0)
+    cmap = ConcurrentHashMap()
+    solo = cmap._op_cost(100.0)
+    for _ in range(4):
+        cmap.register_thread()
+    assert cmap._op_cost(100.0) > solo
+    with pytest.raises(ValueError):
+        sim.run(until=sim.process(cmap.insert_many(w, [1], [1, 2])))
+    for _ in range(4):
+        cmap.unregister_thread()
+    with pytest.raises(RuntimeError):
+        cmap.unregister_thread()
+
+
+# ----------------------------------------------------------- single machine
+
+def test_single_machine_cost_calibration():
+    """Paper: standalone join of 2 x 16 M tuples takes 6.46 s."""
+    t = single_machine_join_ns(1 << 24, 1 << 24)
+    assert t == pytest.approx(6.46e9, rel=0.2)
+
+
+def test_single_machine_threads_scale():
+    t1 = single_machine_join_ns(1 << 20, 1 << 20, threads=1)
+    t8 = single_machine_join_ns(1 << 20, 1 << 20, threads=8)
+    assert t1 / 8 < t8 < t1 / 5  # near-linear with striping penalty
+
+
+def test_single_machine_validation():
+    with pytest.raises(ValueError):
+        single_machine_join_ns(0, 10)
+
+
+# ------------------------------------------------------------- distributed
+
+def make_join(executors=4, batch=16, tuples=2048, machines=8, **kw):
+    sim, cluster, ctx = build(machines=machines)
+    cfg = JoinConfig(executors=executors, batch=batch, **kw)
+    return sim, DistributedJoin(ctx, cfg, tuples_per_relation=tuples, seed=3)
+
+
+def test_join_matches_are_exact():
+    sim, join = make_join()
+    result = join.run()
+    assert result.matches == join.reference_matches()
+    assert result.matches > 0
+
+
+def test_join_exact_across_configs():
+    for cfg in (dict(executors=2, batch=1), dict(executors=8, batch=4),
+                dict(executors=4, batch=16, numa=False)):
+        sim, join = make_join(tuples=1024, **cfg)
+        assert join.run().matches == join.reference_matches()
+
+
+def test_join_phases_sum_to_elapsed():
+    sim, join = make_join(tuples=1024)
+    r = join.run()
+    assert r.partition_ns + r.build_probe_ns == pytest.approx(r.elapsed_ns)
+    assert r.partition_ns > 0 and r.build_probe_ns > 0
+
+
+def test_join_relations_must_match_sizes():
+    sim, cluster, ctx = build(machines=4)
+    with pytest.raises(ValueError):
+        DistributedJoin(ctx, JoinConfig(executors=2),
+                        inner=generate_relation(100),
+                        outer=generate_relation(200))
+
+
+def test_estimate_scales_linearly():
+    sim, join = make_join(tuples=1024)
+    r = join.run()
+    assert r.estimate_time_ns(10_240) == pytest.approx(10 * r.elapsed_ns)
+    with pytest.raises(ValueError):
+        r.estimate_time_ns(0)
+
+
+# -------------------------------------------------------------- Fig 16 shape
+
+def test_fig16a_batching_reduces_execution_time():
+    _, j1 = make_join(executors=4, batch=1, tuples=2048)
+    _, j16 = make_join(executors=4, batch=16, tuples=2048)
+    t1 = j1.run().elapsed_ns
+    t16 = j16.run().elapsed_ns
+    # Paper: up to 37% reduction vs the non-batching implementation.
+    assert t16 < 0.8 * t1
+
+
+def test_fig16a_numa_awareness_helps():
+    _, j_no = make_join(executors=4, batch=16, tuples=2048, numa=False)
+    _, j_yes = make_join(executors=4, batch=16, tuples=2048, numa=True)
+    t_no = j_no.run().elapsed_ns
+    t_yes = j_yes.run().elapsed_ns
+    # Paper: NUMA-awareness cuts join time by 12%-30%.
+    assert t_yes < t_no
+
+
+def test_fig16b_more_executors_reduce_time_sublinearly():
+    _, j4 = make_join(executors=4, batch=16, tuples=4096)
+    _, j16 = make_join(executors=16, batch=16, tuples=4096)
+    t4 = j4.run().elapsed_ns
+    t16 = j16.run().elapsed_ns
+    assert t16 < t4
+    # Sub-linear: 4x executors gives less than 4x speedup but > 1.5x.
+    assert 1.5 < t4 / t16 < 4.0
+
+
+def test_fig17_distributed_beats_single_machine():
+    """At 2^24 tuples the optimized distributed join wins by ~5x."""
+    _, j = make_join(executors=16, batch=16, tuples=4096)
+    r = j.run()
+    est = r.estimate_time_ns(1 << 24)
+    single = single_machine_join_ns(1 << 24, 1 << 24)
+    assert est < single / 2

@@ -1,0 +1,106 @@
+"""Tests for the two-sided (RPC) hashtable baseline."""
+
+import pytest
+
+from repro import build
+from repro.apps.hashtable.rpc_baseline import RpcHashTable
+
+
+@pytest.fixture()
+def rig():
+    sim, cluster, ctx = build(machines=4)
+    table = RpcHashTable(ctx, machine=0, n_servers=2)
+    return sim, ctx, table
+
+
+def test_put_get_roundtrip(rig):
+    sim, ctx, table = rig
+    client = table.connect(1)
+
+    def session():
+        v1 = yield from client.put(7, b"one")
+        v2 = yield from client.put(7, b"two")
+        got = yield from client.get(7)
+        missing = yield from client.get(99)
+        return v1, v2, got, missing
+
+    v1, v2, got, missing = sim.run(until=sim.process(session()))
+    table.stop()
+    assert v2 > v1
+    assert got == (v2, b"two")
+    assert missing is None
+    assert client.ops == 4
+
+
+def test_clients_round_robin_over_servers(rig):
+    sim, ctx, table = rig
+    clients = [table.connect(1 + i % 3) for i in range(4)]
+
+    def session(c, key):
+        yield from c.put(key, b"x")
+
+    procs = [sim.process(session(c, i)) for i, c in enumerate(clients)]
+    for p in procs:
+        sim.run(until=p)
+    table.stop()
+    served = [s.requests_served for s in table.servers]
+    assert sum(served) == 4
+    assert all(s == 2 for s in served)  # 4 clients round-robin over 2
+
+
+def test_cross_client_visibility(rig):
+    """A value put by one client is visible to another (server-side
+    state, unlike the one-sided front-end shadows)."""
+    sim, ctx, table = rig
+    a = table.connect(1)
+    b = table.connect(2)
+
+    def writer():
+        yield from a.put(5, b"shared")
+
+    def reader():
+        yield sim.timeout(50_000)
+        return (yield from b.get(5))
+
+    sim.process(writer())
+    got = sim.run(until=sim.process(reader()))
+    table.stop()
+    assert got[1] == b"shared"
+
+
+def test_server_thread_is_the_bottleneck():
+    """Throughput caps at ~1/rpc_service_ns per server thread."""
+    sim, cluster, ctx = build(machines=8)
+    table = RpcHashTable(ctx, machine=0, n_servers=1)
+    clients = [table.connect(1 + i % 7) for i in range(8)]
+    done = [0]
+
+    def drive(c, i):
+        for k in range(100):
+            yield from c.put((i * 100 + k) % 512, b"v")
+            done[0] += 1
+
+    t0 = sim.now
+    procs = [sim.process(drive(c, i)) for i, c in enumerate(clients)]
+    for p in procs:
+        sim.run(until=p)
+    rate = done[0] * 1000 / (sim.now - t0)
+    table.stop()
+    cap = 1000 / ctx.params.rpc_service_ns
+    assert rate == pytest.approx(cap, rel=0.25)
+
+
+def test_validation(rig):
+    sim, ctx, table = rig
+    client = table.connect(1)
+
+    def too_big():
+        yield from client.put(1, b"x" * 100)
+
+    with pytest.raises(ValueError):
+        sim.run(until=sim.process(too_big()))
+    table.stop()
+    with pytest.raises(ValueError):
+        RpcHashTable(ctx, 0, n_servers=0)
+    with pytest.raises(ValueError):
+        RpcHashTable(ctx, 0, n_servers=999)

@@ -1,0 +1,111 @@
+"""Calibration tests: the simulator must land on the paper's anchor numbers.
+
+These are the ground truth the whole reproduction hangs on (Fig 1,
+Section III-E); if a model change drifts them, every downstream figure
+drifts too, so they are enforced here with explicit tolerances.
+"""
+
+import pytest
+
+from repro import build
+from repro.sim.stats import mops
+from repro.verbs import Opcode, Sge, Worker, WorkRequest
+
+
+def _latency_of(opcode_gen_factory, n=20):
+    """Average synchronous latency over n ops after 5 warm-up ops."""
+    sim, cluster, ctx = build(machines=2)
+    lmr = ctx.register(0, 1 << 20, socket=0)
+    rmr = ctx.register(1, 1 << 20, socket=0)
+    qp = ctx.create_qp(0, 1)
+    w = Worker(ctx, 0, socket=0)
+    samples = []
+
+    def client():
+        for i in range(n + 5):
+            t0 = sim.now
+            yield from opcode_gen_factory(w, qp, lmr, rmr)
+            if i >= 5:
+                samples.append(sim.now - t0)
+
+    sim.run(until=sim.process(client()))
+    return sum(samples) / len(samples)
+
+
+def test_small_write_latency_1_16_us():
+    lat = _latency_of(lambda w, qp, l, r: w.write(qp, l, 0, r, 0, 32,
+                                                  move_data=False))
+    assert lat == pytest.approx(1160, rel=0.15)
+
+
+def test_small_read_latency_2_0_us():
+    lat = _latency_of(lambda w, qp, l, r: w.read(qp, l, 0, r, 0, 32,
+                                                 move_data=False))
+    assert lat == pytest.approx(2000, rel=0.15)
+
+
+def test_atomic_latency_between_read_and_2x_write():
+    lat = _latency_of(lambda w, qp, l, r: w.faa(qp, r, 0, add=1))
+    assert 1160 < lat < 2600
+
+
+def test_8kb_write_latency_rises_to_5ish_us():
+    """Fig 1: latency climbs steeply past 2 KB; ~5-6 us at 8 KB."""
+    lat = _latency_of(lambda w, qp, l, r: w.write(qp, l, 0, r, 0, 8192,
+                                                  move_data=False))
+    assert 3800 < lat < 6500
+
+
+def _pipelined_mops(opcode, size=32, depth=16, n_ops=3000):
+    """Steady-state throughput with a queue-depth-`depth` client."""
+    sim, cluster, ctx = build(machines=2)
+    lmr = ctx.register(0, 1 << 20, socket=0)
+    rmr = ctx.register(1, 1 << 20, socket=0)
+    qp = ctx.create_qp(0, 1)
+    w = Worker(ctx, 0, socket=0)
+    completed = [0]
+    t_start = [None]
+
+    def client():
+        inflight = []
+        for i in range(n_ops):
+            if len(inflight) >= depth:
+                yield from w.wait(inflight.pop(0))
+                completed[0] += 1
+                if completed[0] == 200:
+                    t_start[0] = sim.now  # steady state reached
+            wr = WorkRequest(opcode, sgl=[Sge(lmr, 0, size)],
+                             remote_mr=rmr, remote_offset=0,
+                             move_data=False)
+            if opcode.is_atomic:
+                wr = WorkRequest(opcode, remote_mr=rmr, remote_offset=0, add=1)
+            ev = yield from w.post(qp, wr)
+            inflight.append(ev)
+        for ev in inflight:
+            yield from w.wait(ev)
+            completed[0] += 1
+
+    sim.run(until=sim.process(client()))
+    return mops(completed[0] - 200, sim.now - t_start[0])
+
+
+def test_pipelined_write_plateau_4_7_mops():
+    assert _pipelined_mops(Opcode.WRITE) == pytest.approx(4.7, rel=0.12)
+
+
+def test_pipelined_read_plateau_4_2_mops():
+    assert _pipelined_mops(Opcode.READ) == pytest.approx(4.2, rel=0.12)
+
+
+def test_pipelined_atomic_2_2_to_2_5_mops():
+    rate = _pipelined_mops(Opcode.FAA, n_ops=2000)
+    assert 2.0 <= rate <= 2.6
+
+
+def test_throughput_flat_below_256b_then_drops():
+    """Fig 1 right: small payloads all hit the same plateau."""
+    r32 = _pipelined_mops(Opcode.WRITE, size=32, n_ops=1500)
+    r256 = _pipelined_mops(Opcode.WRITE, size=256, n_ops=1500)
+    r8k = _pipelined_mops(Opcode.WRITE, size=8192, n_ops=1000)
+    assert r32 == pytest.approx(r256, rel=0.1)
+    assert r8k < 0.35 * r32

@@ -1,0 +1,214 @@
+"""Tests for access-pattern tooling, the RPC substrate, and the advisor."""
+
+import pytest
+
+from repro import build
+from repro.core import (
+    Advisor,
+    PatternGenerator,
+    RemoteAccessRunner,
+    RpcServer,
+    WorkloadProfile,
+)
+from repro.core.advisor import VECTOR_IO_TABLE
+from repro.sim import make_rng
+from repro.verbs import Opcode, Worker
+
+
+# ------------------------------------------------------------ PatternGenerator
+
+def test_sequential_pattern_strides_and_wraps():
+    g = PatternGenerator("seq", region_bytes=256, payload_bytes=64)
+    assert [g.next() for _ in range(6)] == [0, 64, 128, 192, 0, 64]
+
+
+def test_random_pattern_aligned_and_in_range():
+    g = PatternGenerator("rand", region_bytes=1 << 20, payload_bytes=128,
+                         rng=make_rng(1))
+    offs = [g.next() for _ in range(200)]
+    assert all(0 <= o < (1 << 20) and o % 128 == 0 for o in offs)
+    assert len(set(offs)) > 50  # actually random
+
+
+def test_pattern_validation():
+    with pytest.raises(ValueError):
+        PatternGenerator("zigzag", 1024, 64)
+    with pytest.raises(ValueError):
+        PatternGenerator("rand", 1024, 64)  # missing rng
+    with pytest.raises(ValueError):
+        PatternGenerator("seq", 64, 128)
+
+
+# --------------------------------------------------------- RemoteAccessRunner
+
+def _runner_mops(src, dst, region_mb=32, opcode=Opcode.WRITE, n_ops=1200,
+                 warmup=200):
+    sim, cluster, ctx = build(machines=2)
+    size = region_mb << 20
+    lmr = ctx.register(0, size, socket=0)
+    rmr = ctx.register(1, size, socket=0)
+    qp = ctx.create_qp(0, 1)
+    w = Worker(ctx, 0)
+    runner = RemoteAccessRunner(
+        w, qp, lmr, rmr, opcode, payload_bytes=32, src_pattern=src,
+        dst_pattern=dst, rng=make_rng(3))
+    return sim.run(until=sim.process(runner.run(n_ops, warmup=warmup)))
+
+
+def test_seq_seq_write_beats_rand_rand():
+    """Fig 6(b): seq-seq is ~2x+ the random patterns over a large region."""
+    seq = _runner_mops("seq", "seq")
+    rand = _runner_mops("rand", "rand")
+    assert seq > 1.8 * rand
+
+
+def test_small_region_shows_no_asymmetry():
+    """Fig 6(d): below the SRAM coverage (4 MB) rand == seq once the
+    translation cache is warm (compulsory misses amortized away)."""
+    seq = _runner_mops("seq", "seq", region_mb=2)
+    rand = _runner_mops("rand", "rand", region_mb=2, warmup=4000, n_ops=2000)
+    assert rand == pytest.approx(seq, rel=0.03)
+
+
+def test_runner_validation():
+    sim, cluster, ctx = build(machines=2)
+    lmr = ctx.register(0, 1 << 20)
+    rmr = ctx.register(1, 1 << 20)
+    qp = ctx.create_qp(0, 1)
+    w = Worker(ctx, 0)
+    with pytest.raises(ValueError):
+        RemoteAccessRunner(w, qp, lmr, rmr, Opcode.CAS, 32)
+    with pytest.raises(ValueError):
+        RemoteAccessRunner(w, qp, lmr, rmr, Opcode.WRITE, 32, depth=0)
+
+
+# ------------------------------------------------------------------ RpcServer
+
+def test_rpc_roundtrip_and_server_accounting():
+    sim, cluster, ctx = build(machines=2)
+    server = RpcServer(ctx, machine=0)
+
+    def handler(body, request):
+        return body * 2
+
+    server.start(handler)
+    w = Worker(ctx, 1)
+    ch = server.connect(1)
+
+    def client():
+        out = []
+        for i in range(5):
+            out.append((yield from ch.call(w, i)))
+        return out
+
+    assert sim.run(until=sim.process(client())) == [0, 2, 4, 6, 8]
+    server.stop()
+    assert server.requests_served == 5
+
+
+def test_rpc_latency_exceeds_one_sided_write():
+    """The RPC detour (2 sends + server service) must cost more than a
+    one-sided op — the premise of Section III-E."""
+    sim, cluster, ctx = build(machines=2)
+    server = RpcServer(ctx, machine=0)
+    server.start(lambda body, request: body)
+    w = Worker(ctx, 1)
+    ch = server.connect(1)
+    lmr = ctx.register(1, 4096)
+    rmr = ctx.register(0, 4096)
+    qp = ctx.create_qp(1, 0)
+    t = {}
+
+    def client():
+        t0 = sim.now
+        yield from ch.call(w, "ping")
+        t["rpc"] = sim.now - t0
+        t0 = sim.now
+        yield from w.write(qp, lmr, 0, rmr, 0, 32, move_data=False)
+        t["write"] = sim.now - t0
+
+    sim.run(until=sim.process(client()))
+    server.stop()
+    assert t["rpc"] > 1.5 * t["write"]
+
+
+def test_rpc_double_start_rejected():
+    sim, cluster, ctx = build(machines=2)
+    server = RpcServer(ctx, machine=0)
+    server.start(lambda b, r: b)
+    with pytest.raises(RuntimeError):
+        server.start(lambda b, r: b)
+    server.stop()
+
+
+# -------------------------------------------------------------------- Advisor
+
+def test_advisor_recommends_batching_for_small_batchable_writes():
+    recs = Advisor().advise(WorkloadProfile(
+        payload_bytes=32, batchable=16, same_destination=True))
+    names = [r.technique for r in recs]
+    assert any("vector IO" in n for n in names)
+    top = [r for r in recs if "vector IO" in r.technique][0]
+    assert top.predicted_speedup > 2.0
+    assert top.paper_section == "III-A"
+
+
+def test_advisor_skips_batching_when_not_batchable():
+    recs = Advisor().advise(WorkloadProfile(payload_bytes=32, batchable=1))
+    assert not any("vector IO" in r.technique for r in recs)
+
+
+def test_advisor_recommends_consolidation_for_skew():
+    recs = Advisor().advise(WorkloadProfile(
+        hot_fraction=0.8, mergeable_per_block=16, staleness_tolerant=True))
+    cons = [r for r in recs if r.technique == "IO consolidation"]
+    assert cons and cons[0].predicted_speedup > 3.0
+
+
+def test_advisor_consolidation_needs_staleness_tolerance():
+    recs = Advisor().advise(WorkloadProfile(
+        hot_fraction=0.8, mergeable_per_block=16, staleness_tolerant=False))
+    assert not any(r.technique == "IO consolidation" for r in recs)
+
+
+def test_advisor_flags_random_access_over_large_region():
+    recs = Advisor().advise(WorkloadProfile(
+        access_pattern="rand", registered_bytes=2 << 30))
+    seq = [r for r in recs if r.technique == "sequential layout"]
+    assert seq and seq[0].paper_section == "III-B"
+
+
+def test_advisor_no_pattern_warning_below_sram_coverage():
+    recs = Advisor().advise(WorkloadProfile(
+        access_pattern="rand", registered_bytes=2 << 20))
+    assert not any(r.technique == "sequential layout" for r in recs)
+
+
+def test_advisor_numa_and_atomics_rules():
+    recs = Advisor().advise(WorkloadProfile(
+        crosses_sockets=True, contenders=12))
+    names = [r.technique for r in recs]
+    assert any("NUMA" in n for n in names)
+    atomics = [r for r in recs if "atomics" in r.technique][0]
+    assert atomics.details["use_backoff"] is True
+
+
+def test_advisor_sorted_by_gain_and_validates():
+    recs = Advisor().advise(WorkloadProfile(
+        payload_bytes=32, batchable=32, same_destination=True,
+        hot_fraction=0.9, mergeable_per_block=16, staleness_tolerant=True,
+        access_pattern="rand", registered_bytes=1 << 31,
+        crosses_sockets=True, contenders=4))
+    gains = [r.predicted_speedup for r in recs]
+    assert gains == sorted(gains, reverse=True)
+    assert len(recs) == 5
+    with pytest.raises(ValueError):
+        Advisor().advise(WorkloadProfile(payload_bytes=0))
+    with pytest.raises(ValueError):
+        Advisor().advise(WorkloadProfile(hot_fraction=2.0))
+
+
+def test_table1_shape():
+    assert set(VECTOR_IO_TABLE) == {"SP", "Doorbell", "SGL"}
+    for row in VECTOR_IO_TABLE.values():
+        assert set(row) == {"programmability", "performance", "scalability"}

@@ -1,0 +1,171 @@
+"""Unit + behavior tests for the IO consolidator (remote burst buffer)."""
+
+import pytest
+
+from repro import build
+from repro.core import IoConsolidator
+from repro.verbs import Worker
+
+
+@pytest.fixture()
+def rig():
+    sim, cluster, ctx = build(machines=2)
+    staging = ctx.register(0, 8 * 1024, socket=0)   # 8 blocks of 1 KB
+    remote = ctx.register(1, 64 * 1024, socket=0)
+    qp = ctx.create_qp(0, 1)
+    w = Worker(ctx, 0, socket=0)
+    return sim, ctx, staging, remote, qp, w
+
+
+def make(rig, **kw):
+    sim, ctx, staging, remote, qp, w = rig
+    defaults = dict(block_bytes=1024, theta=4)
+    defaults.update(kw)
+    return IoConsolidator(w, qp, staging, remote, **defaults)
+
+
+def run(sim, gen):
+    return sim.run(until=sim.process(gen))
+
+
+def test_theta_writes_trigger_one_flush(rig):
+    sim, *_ = rig
+    cons = make(rig)
+
+    def client():
+        flushed = []
+        for i in range(4):
+            f = yield from cons.write(i * 32, bytes([i + 1]) * 32)
+            flushed.append(f)
+        assert flushed == [False, False, False, True]
+
+    run(sim, client())
+    assert cons.flushes == 1
+    assert cons.writes_absorbed == 4
+
+
+def test_flush_carries_merged_block_content(rig):
+    sim, ctx, staging, remote, qp, w = rig
+    cons = make(rig, theta=3)
+
+    def client():
+        yield from cons.write(0, b"A" * 16)
+        yield from cons.write(16, b"B" * 16)
+        yield from cons.write(0, b"C" * 16)   # overwrites the first
+
+    run(sim, client())
+    assert remote.read(0, 16) == b"C" * 16
+    assert remote.read(16, 16) == b"B" * 16
+
+
+def test_distinct_blocks_tracked_separately(rig):
+    sim, *_ = rig
+    cons = make(rig, theta=2)
+
+    def client():
+        yield from cons.write(0, b"x")          # block 0: 1 pending
+        yield from cons.write(1024, b"y")       # block 1: 1 pending
+        assert cons.dirty_blocks() == [0, 1]
+        yield from cons.write(8, b"z")          # block 0 reaches theta
+        assert cons.dirty_blocks() == [1]
+
+    run(sim, client())
+    assert cons.flushes == 1
+
+
+def test_flush_all_drains_everything(rig):
+    sim, ctx, staging, remote, qp, w = rig
+    cons = make(rig, theta=100)
+
+    def client():
+        yield from cons.write(0, b"a" * 8)
+        yield from cons.write(2048, b"b" * 8)
+        yield from cons.flush_all()
+
+    run(sim, client())
+    assert cons.dirty_blocks() == []
+    assert remote.read(0, 8) == b"a" * 8
+    assert remote.read(2048, 8) == b"b" * 8
+    assert cons.flushes == 2
+
+
+def test_flush_idempotent_on_clean_block(rig):
+    sim, *_ = rig
+    cons = make(rig)
+
+    def client():
+        result = yield from cons.flush_block(0)
+        assert result is None
+
+    run(sim, client())
+    assert cons.flushes == 0
+
+
+def test_write_outside_window_rejected(rig):
+    sim, *_ = rig
+    cons = make(rig)
+
+    def client():
+        yield from cons.write(8 * 1024, b"oops")
+
+    with pytest.raises(IndexError):
+        run(sim, client())
+
+
+def test_straddling_write_rejected(rig):
+    sim, *_ = rig
+    cons = make(rig)
+
+    def client():
+        yield from cons.write(1020, b"12345678")
+
+    with pytest.raises(ValueError):
+        run(sim, client())
+
+
+def test_lease_daemon_flushes_stale_block(rig):
+    sim, ctx, staging, remote, qp, w = rig
+    cons = make(rig, theta=100, lease_ns=50_000)
+    cons.start_lease_daemon()
+
+    def client():
+        yield from cons.write(0, b"stale!")
+        yield sim.timeout(200_000)
+        cons.stop_lease_daemon()
+
+    run(sim, client())
+    assert remote.read(0, 6) == b"stale!"
+    assert cons.timeout_flushes == 1
+
+
+def test_lease_daemon_requires_lease(rig):
+    cons = make(rig)
+    with pytest.raises(ValueError):
+        cons.start_lease_daemon()
+
+
+def test_construction_validation(rig):
+    sim, ctx, staging, remote, qp, w = rig
+    with pytest.raises(ValueError):
+        IoConsolidator(w, qp, staging, remote, theta=0)
+    with pytest.raises(ValueError):
+        IoConsolidator(w, qp, staging, remote, block_bytes=0)
+    with pytest.raises(ValueError):
+        IoConsolidator(w, qp, staging, remote, remote_base=100)
+    huge = ctx.register(0, 128 * 1024, socket=0)
+    with pytest.raises(ValueError):
+        IoConsolidator(w, qp, huge, remote)  # window larger than remote
+
+
+def test_consolidation_reduces_rdma_ops(rig):
+    """theta=8 means one RDMA op per 8 absorbed writes (same block)."""
+    sim, ctx, staging, remote, qp, w = rig
+    cons = make(rig, theta=8)
+
+    def client():
+        for i in range(64):
+            yield from cons.write((i % 8) * 64, b"q" * 64)
+
+    run(sim, client())
+    assert cons.writes_absorbed == 64
+    assert cons.flushes == 8

@@ -1,0 +1,248 @@
+"""Tests for the three spinlock families: mutual exclusion, backoff, shapes."""
+
+import pytest
+
+from repro import build
+from repro.core import BackoffPolicy, LocalSpinLock, RemoteSpinLock, RpcSpinLock
+from repro.sim import make_rng
+from repro.verbs import Worker
+
+
+# --------------------------------------------------------------- BackoffPolicy
+
+def test_backoff_grows_exponentially_and_caps():
+    b = BackoffPolicy(base_ns=100, factor=2.0, cap_ns=800, jitter=0.0)
+    assert [b.delay_ns(i) for i in range(1, 6)] == [100, 200, 400, 800, 800]
+
+
+def test_backoff_jitter_bounded():
+    b = BackoffPolicy(base_ns=1000, factor=2.0, cap_ns=10_000, jitter=0.25)
+    rng = make_rng(7)
+    for attempt in range(1, 6):
+        d = b.delay_ns(attempt, rng)
+        nominal = min(1000 * 2 ** (attempt - 1), 10_000)
+        assert 0.75 * nominal <= d <= 1.25 * nominal
+
+
+def test_backoff_validation():
+    with pytest.raises(ValueError):
+        BackoffPolicy(base_ns=0)
+    with pytest.raises(ValueError):
+        BackoffPolicy(jitter=1.5)
+    with pytest.raises(ValueError):
+        BackoffPolicy(cap_ns=10, base_ns=100)
+    b = BackoffPolicy()
+    with pytest.raises(ValueError):
+        b.delay_ns(0)
+
+
+# --------------------------------------------------------------- LocalSpinLock
+
+def test_local_lock_mutual_exclusion():
+    sim, cluster, ctx = build(machines=1)
+    lock = LocalSpinLock(sim)
+    workers = [Worker(ctx, 0, socket=0, name=f"t{i}") for i in range(4)]
+    in_cs = [0]
+    max_in_cs = [0]
+    counter = [0]
+
+    def thread(w):
+        for _ in range(25):
+            yield from lock.acquire(w)
+            in_cs[0] += 1
+            max_in_cs[0] = max(max_in_cs[0], in_cs[0])
+            counter[0] += 1
+            yield sim.timeout(10)
+            in_cs[0] -= 1
+            yield from lock.release(w)
+
+    for w in workers:
+        sim.process(thread(w))
+    sim.run()
+    assert max_in_cs[0] == 1
+    assert counter[0] == 100
+    assert lock.acquisitions == 100
+
+
+def test_local_lock_release_when_free_raises():
+    sim, cluster, ctx = build(machines=1)
+    lock = LocalSpinLock(sim)
+    w = Worker(ctx, 0)
+
+    def bad():
+        yield from lock.release(w)
+
+    with pytest.raises(RuntimeError):
+        sim.run(until=sim.process(bad()))
+
+
+def test_local_lock_contention_collapses_throughput():
+    """Fig 10a: the local curve collapses by orders of magnitude."""
+    def run_threads(n):
+        sim, cluster, ctx = build(machines=1)
+        lock = LocalSpinLock(sim)
+        count = [0]
+
+        def thread(w):
+            while sim.now < 2_000_000:
+                yield from lock.acquire(w)
+                count[0] += 1
+                yield from lock.release(w)
+
+        for i in range(n):
+            sim.process(thread(Worker(ctx, 0, name=f"t{i}")))
+        sim.run(until=2_100_000)
+        return count[0] / 2_000_000 * 1000  # MOPS
+
+    solo, contended = run_threads(1), run_threads(8)
+    assert solo > 10.0
+    assert contended < 0.1 * solo
+
+
+# -------------------------------------------------------------- RemoteSpinLock
+
+def _remote_lock_rig(n_clients, backoff=None):
+    sim, cluster, ctx = build(machines=max(2, n_clients + 1))
+    lock_mr = ctx.register(0, 4096, socket=0)
+    locks = []
+    for i in range(n_clients):
+        m = i + 1
+        w = Worker(ctx, m, socket=0, name=f"c{m}")
+        qp = ctx.create_qp(m, 0)
+        scratch = ctx.register(m, 4096, socket=0)
+        locks.append(RemoteSpinLock(
+            w, qp, scratch, lock_mr, backoff=backoff, rng=make_rng(i)))
+    return sim, ctx, lock_mr, locks
+
+
+def test_remote_lock_mutual_exclusion():
+    sim, ctx, lock_mr, locks = _remote_lock_rig(3)
+    in_cs, max_in_cs, total = [0], [0], [0]
+
+    def client(lk):
+        for _ in range(10):
+            yield from lk.acquire()
+            in_cs[0] += 1
+            max_in_cs[0] = max(max_in_cs[0], in_cs[0])
+            total[0] += 1
+            yield sim.timeout(100)
+            in_cs[0] -= 1
+            yield from lk.release()
+
+    for lk in locks:
+        sim.process(client(lk))
+    sim.run()
+    assert max_in_cs[0] == 1
+    assert total[0] == 30
+    assert lock_mr.read_u64(0) == RemoteSpinLock.UNLOCKED
+
+
+def test_remote_lock_try_acquire_reports_contention():
+    sim, ctx, lock_mr, locks = _remote_lock_rig(2)
+    results = {}
+
+    def first(lk):
+        ok = yield from lk.try_acquire()
+        results["first"] = ok
+
+    def second(lk):
+        yield sim.timeout(5000)
+        ok = yield from lk.try_acquire()
+        results["second"] = ok
+
+    sim.process(first(locks[0]))
+    sim.process(second(locks[1]))
+    sim.run()
+    assert results == {"first": True, "second": False}
+    assert locks[1].failed_attempts == 1
+
+
+def test_remote_lock_backoff_reduces_wasted_cas():
+    """Backoff clients burn far fewer failed CAS attempts under contention."""
+    def wasted(backoff):
+        sim, ctx, lock_mr, locks = _remote_lock_rig(6, backoff=backoff)
+        done = []
+
+        def client(lk):
+            for _ in range(8):
+                yield from lk.acquire()
+                yield sim.timeout(500)
+                yield from lk.release()
+            done.append(1)
+
+        for lk in locks:
+            sim.process(client(lk))
+        sim.run()
+        assert len(done) == 6
+        return sum(lk.failed_attempts for lk in locks)
+
+    naive = wasted(None)
+    polite = wasted(BackoffPolicy(base_ns=2000, cap_ns=64_000))
+    assert polite < 0.5 * naive
+
+
+def test_remote_lock_alignment_validation():
+    sim, cluster, ctx = build(machines=2)
+    lock_mr = ctx.register(0, 4096)
+    w = Worker(ctx, 1)
+    qp = ctx.create_qp(1, 0)
+    scratch = ctx.register(1, 4096)
+    with pytest.raises(ValueError):
+        RemoteSpinLock(w, qp, scratch, lock_mr, lock_offset=3)
+
+
+# ----------------------------------------------------------------- RpcSpinLock
+
+def test_rpc_lock_polling_mode_mutual_exclusion():
+    """Default (paper-style) polling lock: busy clients re-poll."""
+    sim, cluster, ctx = build(machines=3)
+    server = RpcSpinLock.make_server(ctx, machine=0)
+    c1 = RpcSpinLock(server.connect(1), Worker(ctx, 1))
+    c2 = RpcSpinLock(server.connect(2), Worker(ctx, 2))
+    in_cs, max_in_cs = [0], [0]
+
+    def client(lk):
+        for _ in range(4):
+            yield from lk.acquire()
+            in_cs[0] += 1
+            max_in_cs[0] = max(max_in_cs[0], in_cs[0])
+            yield sim.timeout(3000)
+            in_cs[0] -= 1
+            yield from lk.release()
+
+    p1 = sim.process(client(c1))
+    p2 = sim.process(client(c2))
+    sim.run(until=p1)
+    sim.run(until=p2)
+    server.stop()
+    assert max_in_cs[0] == 1
+    assert c1.acquisitions == c2.acquisitions == 4
+    assert c1.busy_polls + c2.busy_polls > 0  # contention actually occurred
+
+
+def test_rpc_lock_mutual_exclusion_and_fifo_handover():
+    sim, cluster, ctx = build(machines=4)
+    server = RpcSpinLock.make_server(ctx, machine=0, fair=True)
+    clients = []
+    for m in (1, 2, 3):
+        w = Worker(ctx, m, name=f"c{m}")
+        clients.append(RpcSpinLock(server.connect(m), w))
+    in_cs, max_in_cs, order = [0], [0], []
+
+    def client(idx, lk):
+        for i in range(5):
+            yield from lk.acquire()
+            in_cs[0] += 1
+            max_in_cs[0] = max(max_in_cs[0], in_cs[0])
+            order.append(idx)
+            yield sim.timeout(200)
+            in_cs[0] -= 1
+            yield from lk.release()
+
+    for i, lk in enumerate(clients):
+        sim.process(client(i, lk))
+    sim.run()
+    server.stop()
+    assert max_in_cs[0] == 1
+    assert len(order) == 15
+    assert sorted(order.count(i) for i in range(3)) == [5, 5, 5]

@@ -1,0 +1,152 @@
+"""Tests for the three sequencer families."""
+
+import pytest
+
+from repro import build
+from repro.core import LocalSequencer, RemoteSequencer, RpcSequencer
+from repro.verbs import Worker
+
+
+def test_local_sequencer_dense_and_monotonic():
+    sim, cluster, ctx = build(machines=1)
+    seq = LocalSequencer(sim)
+    w = Worker(ctx, 0)
+    out = []
+
+    def client():
+        for _ in range(10):
+            out.append((yield from seq.next(w)))
+
+    sim.run(until=sim.process(client()))
+    assert out == list(range(10))
+
+
+def test_local_sequencer_multi_reserve():
+    sim, cluster, ctx = build(machines=1)
+    seq = LocalSequencer(sim, start=100)
+    w = Worker(ctx, 0)
+
+    def client():
+        a = yield from seq.next(w, n=4)
+        b = yield from seq.next(w, n=2)
+        return a, b
+
+    a, b = sim.run(until=sim.process(client()))
+    assert (a, b) == (100, 104)
+    assert seq.value == 106
+
+
+def test_local_sequencer_contention_slows_each_faa():
+    sim, cluster, ctx = build(machines=1)
+    seq = LocalSequencer(sim)
+    w = Worker(ctx, 0)
+    times = {}
+
+    def client():
+        t0 = sim.now
+        yield from seq.next(w)
+        times["solo"] = sim.now - t0
+        for _ in range(7):
+            seq.register()
+        t0 = sim.now
+        yield from seq.next(w)
+        times["contended"] = sim.now - t0
+
+    sim.run(until=sim.process(client()))
+    assert times["contended"] > times["solo"]
+
+
+def test_local_sequencer_validation():
+    sim, cluster, ctx = build(machines=1)
+    seq = LocalSequencer(sim)
+    w = Worker(ctx, 0)
+
+    def bad():
+        yield from seq.next(w, n=0)
+
+    with pytest.raises(ValueError):
+        sim.run(until=sim.process(bad()))
+    with pytest.raises(RuntimeError):
+        seq.unregister()
+
+
+def test_remote_sequencer_unique_across_engines():
+    """Concurrent FAA reservations never overlap (the log's guarantee)."""
+    sim, cluster, ctx = build(machines=4)
+    counter_mr = ctx.register(0, 4096)
+    grabs: list[tuple[int, int]] = []
+
+    def engine(m, n_reserve):
+        w = Worker(ctx, m)
+        qp = ctx.create_qp(m, 0)
+        seq = RemoteSequencer(w, qp, counter_mr)
+        for _ in range(15):
+            first = yield from seq.next(n=n_reserve)
+            grabs.append((first, n_reserve))
+
+    sim.process(engine(1, 1))
+    sim.process(engine(2, 4))
+    sim.process(engine(3, 7))
+    sim.run()
+    # Reserved ranges must tile [0, total) without overlap.
+    total = sum(n for _, n in grabs)
+    flat = [i for f, n in grabs for i in range(f, f + n)]
+    assert sorted(flat) == list(range(total))
+    assert counter_mr.read_u64(0) == total
+
+
+def test_remote_sequencer_alignment_validation():
+    sim, cluster, ctx = build(machines=2)
+    counter_mr = ctx.register(0, 4096)
+    w = Worker(ctx, 1)
+    qp = ctx.create_qp(1, 0)
+    with pytest.raises(ValueError):
+        RemoteSequencer(w, qp, counter_mr, counter_offset=4)
+
+
+def test_remote_sequencer_rejects_zero_reserve():
+    sim, cluster, ctx = build(machines=2)
+    counter_mr = ctx.register(0, 4096)
+    w = Worker(ctx, 1)
+    qp = ctx.create_qp(1, 0)
+    seq = RemoteSequencer(w, qp, counter_mr)
+
+    def bad():
+        yield from seq.next(n=0)
+
+    with pytest.raises(ValueError):
+        sim.run(until=sim.process(bad()))
+
+
+def test_rpc_sequencer_dense_across_clients():
+    sim, cluster, ctx = build(machines=3)
+    server = RpcSequencer.make_server(ctx, machine=0)
+    values = []
+
+    def client(m):
+        w = Worker(ctx, m)
+        seq = RpcSequencer(server.connect(m), w)
+        for _ in range(10):
+            values.append((yield from seq.next()))
+
+    sim.process(client(1))
+    sim.process(client(2))
+    sim.run()
+    server.stop()
+    assert sorted(values) == list(range(20))
+
+
+def test_rpc_sequencer_multi_reserve():
+    sim, cluster, ctx = build(machines=2)
+    server = RpcSequencer.make_server(ctx, machine=0)
+    w = Worker(ctx, 1)
+    seq = RpcSequencer(server.connect(1), w)
+
+    def client():
+        a = yield from seq.next(n=8)
+        b = yield from seq.next(n=8)
+        return a, b
+
+    a, b = sim.run(until=sim.process(client()))
+    server.stop()
+    assert (a, b) == (0, 8)

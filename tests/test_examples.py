@@ -1,0 +1,60 @@
+"""Smoke tests: every example must run end-to-end and say what it promised."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / name)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    spec.loader.exec_module(module)
+    module.main()
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart.py", capsys)
+    assert "WRITE" in out and "READ" in out
+    assert "hello, remote memory" in out
+    assert "MOPS" in out
+    assert "42 / 5" in out           # CAS and FAA landed
+
+
+def test_disaggregated_kv_cache(capsys):
+    out = run_example("disaggregated_kv_cache.py", capsys)
+    assert "total gain" in out
+    assert "hot-value-v1" in out
+    assert "cold-value" in out
+
+
+def test_shuffle_join_pipeline(capsys):
+    out = run_example("shuffle_join_pipeline.py", capsys)
+    assert "lane 3->5 verified" in out
+    assert "matches (exact vs reference)" in out
+    assert "single-machine" in out
+
+
+def test_replicated_log(capsys):
+    out = run_example("replicated_log.py", capsys)
+    assert "batching gain" in out
+    assert "densely sequenced" in out
+
+
+def test_replication_recovery(capsys):
+    out = run_example("replication_recovery.py", capsys)
+    assert "recovered 4 MiB" in out
+    assert "state intact" in out and "mark-me" in out
+
+
+def test_advisor_tour(capsys):
+    out = run_example("advisor_tour.py", capsys)
+    assert "vector IO" in out
+    assert "IO consolidation" in out
+    assert "Section III" in out
+    assert "predicted vector-IO gain" in out

@@ -1,0 +1,47 @@
+"""Tests for the EXPERIMENTS.md generator."""
+
+import io
+from pathlib import Path
+
+from repro.bench.experiments_md import FOOTNOTES, HEADER, emit
+from repro.bench.report import FigureResult
+
+
+def make_fig():
+    fig = FigureResult(name="Fig T", title="emit test", x_label="n",
+                       x_values=[1, 2], y_label="MOPS")
+    fig.add("s1", [1.5, 2.5])
+    fig.check("a claim", "1.5", "~1.6")
+    fig.notes.append("a note")
+    return fig
+
+
+def test_emit_produces_markdown_table():
+    out = io.StringIO()
+    emit(make_fig(), out)
+    text = out.getvalue()
+    assert "## Fig T — emit test" in text
+    assert "| n | s1 |" in text
+    assert "| 1 | 1.5 |" in text
+    assert "| a claim | 1.5 | ~1.6 |" in text
+    assert "*note: a note*" in text
+
+
+def test_header_and_footnotes_mention_the_essentials():
+    assert "paper vs. measured" in HEADER
+    assert "params.py" in HEADER
+    for keyword in ("Hardware substitution", "rate-extrapolated",
+                    "Fig 12", "Fig 19", "Table III"):
+        assert keyword in FOOTNOTES, f"missing deviation note: {keyword}"
+
+
+def test_committed_experiments_md_is_current_format():
+    """The checked-in EXPERIMENTS.md was produced by this generator."""
+    path = Path(__file__).resolve().parent.parent / "EXPERIMENTS.md"
+    text = path.read_text()
+    assert text.startswith("# EXPERIMENTS")
+    # One section per table/figure, including the extensions.
+    for section in ("## Fig 1", "## Table I", "## Table III", "## Fig 19",
+                    "## Summary", "## Scorecard", "## Ext 4",
+                    "## Methodology notes"):
+        assert section in text, f"EXPERIMENTS.md lost section {section}"

@@ -1,0 +1,95 @@
+"""The models generalize past the dual-socket testbed: four-socket checks
+(the Fig 2 machine has four sockets on a QPI ring)."""
+
+import pytest
+
+from repro import build
+from repro.core import ConnectionMesh, ProxySocketRouter
+from repro.hw import HardwareParams, NumaTopology
+from repro.hw.dram import DramModel
+from repro.verbs import Worker
+
+
+@pytest.fixture()
+def params4():
+    return HardwareParams().derive(sockets_per_machine=4, ports_per_rnic=4)
+
+
+def test_two_hop_dram_latency(params4):
+    topo = NumaTopology(params4)
+    one_hop = topo.dram_latency(0, 1)
+    two_hop = topo.dram_latency(0, 2)
+    assert two_hop == pytest.approx(one_hop + params4.qpi_hop_ns)
+    # Ring symmetry: socket 3 is one hop from socket 0.
+    assert topo.dram_latency(0, 3) == one_hop
+
+
+def test_two_hop_random_write_cost(params4):
+    dram = DramModel(params4, NumaTopology(params4))
+    from repro.hw.dram import AccessPattern
+    one = dram.write_ns(64, AccessPattern.RANDOM, 0, 1)
+    two = dram.write_ns(64, AccessPattern.RANDOM, 0, 2)
+    assert two > one
+
+
+def test_ports_map_to_all_four_sockets(params4):
+    sim, cluster, ctx = build(machines=2, params=params4)
+    m = cluster[0]
+    assert [p.socket for p in m.ports] == [0, 1, 2, 3]
+    for s in range(4):
+        assert m.port_for_socket(s).socket == s
+
+
+def test_matched_mesh_scales_with_sockets(params4):
+    sim, cluster, ctx = build(machines=3, params=params4)
+    matched = ConnectionMesh(ctx, 0, [1, 2], style="matched")
+    full = ConnectionMesh(ctx, 0, [1], style="all_to_all")
+    assert matched.qp_count == 4 * 2          # s x remotes
+    assert full.qp_count == 16                # s^2 x remotes
+
+
+def test_proxy_router_four_sockets_end_to_end(params4):
+    sim, cluster, ctx = build(machines=2, params=params4)
+    mesh = ConnectionMesh(ctx, 0, [1], style="matched")
+    router = ProxySocketRouter(ctx, 0, mesh)
+    router.start()
+    router.start()          # idempotent
+    lmr = ctx.register(0, 4096, socket=3)
+    rmr = ctx.register(1, 4096, socket=3)
+    w = Worker(ctx, 0, socket=0)
+    lmr.write(0, b"4-socket")
+
+    def client():
+        comp = yield from router.write(w, 1, lmr, 0, rmr, 0, 8)
+        assert comp.ok
+        router.stop()
+
+    sim.run(until=sim.process(client()))
+    assert rmr.read(0, 8) == b"4-socket"
+    assert router.proxied == 1
+
+
+def test_write_latency_grows_with_hop_distance(params4):
+    """End-to-end one-sided latency orders by NUMA distance of the
+    remote buffer from the serving port."""
+    sim, cluster, ctx = build(machines=2, params=params4)
+    lmr = ctx.register(0, 1 << 16, socket=0)
+    qp = ctx.create_qp(0, 1, local_port=0, remote_port=0)
+    w = Worker(ctx, 0, socket=0)
+    lat = {}
+
+    def measure(socket):
+        rmr = ctx.register(1, 1 << 16, socket=socket)
+
+        def client():
+            for _ in range(3):  # warm translations
+                yield from w.write(qp, lmr, 0, rmr, 0, 512, move_data=False)
+            t0 = sim.now
+            yield from w.write(qp, lmr, 0, rmr, 0, 512, move_data=False)
+            lat[socket] = sim.now - t0
+
+        sim.run(until=sim.process(client()))
+
+    for s in (0, 1, 2):
+        measure(s)
+    assert lat[0] < lat[1] < lat[2]

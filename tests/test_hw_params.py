@@ -1,0 +1,98 @@
+"""Unit tests for the calibrated hardware constants."""
+
+import pytest
+
+from repro.hw import HardwareParams
+
+
+def test_defaults_validate():
+    HardwareParams().validate()
+
+
+def test_derive_overrides_one_field():
+    p = HardwareParams()
+    q = p.derive(exec_write_ns=300.0)
+    assert q.exec_write_ns == 300.0
+    assert q.exec_read_ns == p.exec_read_ns
+    assert p.exec_write_ns == 212.0  # original untouched (frozen)
+
+
+def test_wire_time_scales_with_payload():
+    p = HardwareParams()
+    small = p.wire_time(32)
+    large = p.wire_time(8192)
+    assert large > small
+    # 40 Gbps == 5 B/ns: 8 KB payload alone is ~1.64 us on the wire.
+    assert large >= 8192 / 5.0
+
+
+def test_wire_time_mtu_segmentation():
+    p = HardwareParams()
+    one_packet = p.wire_time(p.mtu_bytes)
+    two_packets = p.wire_time(p.mtu_bytes + 1)
+    # Crossing the MTU adds a second per-packet header overhead.
+    assert two_packets - one_packet > p.packet_overhead_bytes / p.link_bandwidth_Bns / 2
+
+
+def test_wire_time_rejects_negative():
+    with pytest.raises(ValueError):
+        HardwareParams().wire_time(-1)
+
+
+def test_pcie_time_per_segment_overhead():
+    p = HardwareParams()
+    contiguous = p.pcie_time(1024, segments=1)
+    scattered = p.pcie_time(1024, segments=4)
+    # Extra segments pipeline: cheaper than standalone TLPs but not free.
+    assert scattered == pytest.approx(contiguous + 3 * p.pcie_tlp_pipelined_ns)
+    assert p.pcie_tlp_pipelined_ns < p.pcie_tlp_ns
+
+
+def test_pcie_time_rejects_bad_segments():
+    with pytest.raises(ValueError):
+        HardwareParams().pcie_time(64, segments=0)
+
+
+def test_validate_rejects_inverted_numa_latency():
+    p = HardwareParams().derive(dram_remote_latency_ns=50.0)
+    with pytest.raises(ValueError):
+        p.validate()
+
+
+def test_validate_rejects_inverted_numa_bandwidth():
+    p = HardwareParams().derive(dram_remote_bw_Bns=10.0)
+    with pytest.raises(ValueError):
+        p.validate()
+
+
+def test_validate_rejects_nonpositive_core_constant():
+    p = HardwareParams().derive(exec_write_ns=0.0)
+    with pytest.raises(ValueError):
+        p.validate()
+
+
+def test_calibration_anchor_small_write_rate():
+    """1/exec_write_ns must land on the paper's ~4.7 MOPS plateau."""
+    p = HardwareParams()
+    assert 1000.0 / p.exec_write_ns == pytest.approx(4.7, rel=0.05)
+    assert 1000.0 / p.exec_read_ns == pytest.approx(4.2, rel=0.05)
+
+
+def test_calibration_anchor_atomic_rate():
+    """Atomics: 2.2-2.5 MOPS per port (Section III-E)."""
+    p = HardwareParams()
+    assert 2.2 <= 1000.0 / p.exec_atomic_ns <= 2.5
+
+
+def test_calibration_anchor_translation_coverage():
+    """Cache covers 4 MB: the Fig 6d knee."""
+    p = HardwareParams()
+    assert p.translation_cache_entries * p.translation_page_bytes == 4 * 1024 * 1024
+
+
+def test_calibration_anchor_table2():
+    p = HardwareParams()
+    assert p.dram_local_latency_ns == 92.0
+    assert p.dram_remote_latency_ns == 162.0
+    assert p.dram_local_bw_Bns == pytest.approx(3.70)
+    assert p.dram_remote_bw_Bns == pytest.approx(2.27)

@@ -1,0 +1,43 @@
+"""Packaging sanity: public API surface, versioning, typed marker."""
+
+from pathlib import Path
+
+import repro
+
+
+def test_version_exposed():
+    assert repro.__version__
+    parts = repro.__version__.split(".")
+    assert len(parts) == 3 and all(p.isdigit() for p in parts)
+
+
+def test_build_helper_contract():
+    sim, cluster, ctx = repro.build(machines=2)
+    assert len(cluster) == 2
+    assert ctx.cluster is cluster
+    assert sim is cluster.sim
+
+
+def test_py_typed_marker_present():
+    pkg = Path(repro.__file__).parent
+    assert (pkg / "py.typed").exists()
+
+
+def test_all_public_reexports_resolve():
+    """Every name in every package __all__ must be importable."""
+    import importlib
+    packages = ["repro", "repro.sim", "repro.hw", "repro.verbs",
+                "repro.memory", "repro.core", "repro.workloads",
+                "repro.apps", "repro.bench"]
+    for name in packages:
+        module = importlib.import_module(name)
+        for symbol in getattr(module, "__all__", []):
+            assert hasattr(module, symbol), f"{name}.{symbol} missing"
+
+
+def test_no_cyclic_surprises_importing_bench_targets():
+    import importlib
+
+    from repro.bench import TARGETS
+    for path in TARGETS.values():
+        importlib.import_module(path)

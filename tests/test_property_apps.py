@@ -1,0 +1,142 @@
+"""Property-based tests for application-level invariants.
+
+These drive the real simulated stack with randomized inputs, so they are
+deliberately bounded in size — each example is a full cluster simulation.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import build
+from repro.apps.dlog import DistributedLog, LogConfig, TransactionEngine
+from repro.apps.hashtable import TableLayout
+from repro.apps.shuffle import DistributedShuffle, ShuffleConfig
+from repro.core.consolidation import IoConsolidator
+from repro.verbs import Worker
+from repro.workloads.stream import KvStream
+from repro.workloads.tables import generate_relation
+
+_few = settings(max_examples=12, deadline=None)
+
+
+# ----------------------------------------------------------- table layout
+
+@given(st.integers(min_value=1, max_value=4096),
+       st.integers(min_value=0, max_value=4096),
+       st.sampled_from([1, 2, 4]),
+       st.sampled_from([4, 8, 16, 32]))
+def test_layout_total_function_and_disjoint_addresses(n_keys, hot_keys,
+                                                      sockets, block_entries):
+    hot_keys = min(hot_keys, n_keys)
+    lay = TableLayout(n_keys=n_keys, hot_keys=hot_keys, sockets=sockets,
+                      block_entries=block_entries)
+    # Every key maps somewhere valid; hot mappings are injective.
+    seen_hot = set()
+    for key in range(min(n_keys, 300)):
+        s = lay.cold_socket(key)
+        assert 0 <= s < sockets
+        assert 0 <= lay.cold_offset(key) < lay.cold_region_bytes(s) + 1
+        if lay.is_hot(key):
+            pair = (lay.hot_block(key), lay.hot_slot(key))
+            assert pair not in seen_hot
+            seen_hot.add(pair)
+            assert 0 <= pair[0] < lay.n_blocks
+            assert 0 <= pair[1] < lay.block_entries
+
+
+@given(st.integers(min_value=2, max_value=16),
+       st.integers(min_value=16, max_value=400),
+       st.integers(min_value=0, max_value=2**31))
+@_few
+def test_shuffle_conserves_entries(n_executors, entries, seed):
+    """Entries sent == entries generated, for any executor count/stream."""
+    sim, cluster, ctx = build(machines=8)
+    shuffle = DistributedShuffle(
+        ctx, n_executors, ShuffleConfig(strategy="sgl", batch_size=4,
+                                        move_data=False),
+        entries_per_executor=entries, seed=seed)
+    result = shuffle.run()
+    assert result.entries == n_executors * entries
+    assert result.mops > 0
+
+
+@given(st.integers(min_value=1, max_value=4),
+       st.lists(st.integers(min_value=1, max_value=16), min_size=1,
+                max_size=4),
+       st.sampled_from([64, 256, 512]))
+@_few
+def test_dlog_tiling_for_any_engine_batches(n_engines, batches, record_bytes):
+    """Any mix of engines/batch sizes tiles each sub-log exactly."""
+    sim, cluster, ctx = build(machines=8)
+    cfg = LogConfig(batch=max(batches), numa=False,
+                    record_bytes=record_bytes, capacity_records=1 << 14,
+                    move_data=True)
+    log = DistributedLog(ctx, 0, cfg)
+    engines = [TransactionEngine(log, i, 1 + i % 7, i % 2)
+               for i in range(n_engines)]
+
+    def client(eng, n_appends):
+        for _ in range(n_appends):
+            yield from eng.append_batch()
+
+    procs = [sim.process(client(e, batches[i % len(batches)]))
+             for i, e in enumerate(engines)]
+    for p in procs:
+        sim.run(until=p)
+    records = log.scan(0)
+    assert [seq for _, seq in records] == list(range(len(records)))
+    total = sum(e.appended for e in engines)
+    assert len(records) == total
+
+
+@given(st.lists(st.tuples(st.integers(min_value=0, max_value=63),
+                          st.integers(min_value=0, max_value=31)),
+                min_size=1, max_size=60),
+       st.integers(min_value=1, max_value=8))
+@_few
+def test_consolidator_never_loses_the_last_write(writes, theta):
+    """For any write sequence, after flush_all the remote block holds each
+    slot's LAST written value."""
+    sim, cluster, ctx = build(machines=2)
+    staging = ctx.register(0, 64 * 1024, socket=0)
+    remote = ctx.register(1, 64 * 1024, socket=0)
+    qp = ctx.create_qp(0, 1)
+    w = Worker(ctx, 0)
+    cons = IoConsolidator(w, qp, staging, remote, block_bytes=1024,
+                          theta=theta)
+    expected = {}
+
+    def client():
+        for i, (block, slot) in enumerate(writes):
+            data = bytes([i % 251 + 1]) * 32
+            yield from cons.write(block * 1024 + slot * 32, data)
+            expected[(block, slot)] = data
+        yield from cons.flush_all()
+
+    sim.run(until=sim.process(client()))
+    for (block, slot), data in expected.items():
+        assert remote.read(block * 1024 + slot * 32, 32) == data
+    assert cons.dirty_blocks() == []
+
+
+@given(st.integers(min_value=2, max_value=8),
+       st.integers(min_value=64, max_value=1024),
+       st.integers(min_value=0, max_value=1000))
+@_few
+def test_relation_partition_is_a_partition(n, size, seed):
+    rel = generate_relation(size, seed=seed)
+    dests = rel.partition(n)
+    assert len(dests) == size
+    assert dests.min() >= 0 and dests.max() < n
+
+
+@given(st.lists(st.integers(min_value=0, max_value=2**62 - 1), min_size=1,
+                max_size=64))
+def test_kvstream_from_arrays_roundtrip(keys):
+    arr = np.array(keys, dtype=np.int64)
+    s = KvStream.from_arrays(arr, arr, entry_bytes=16)
+    assert len(s) == len(keys)
+    assert np.array_equal(s.keys, arr)
+    d = s.destinations(4)
+    assert set(np.unique(d)) <= {0, 1, 2, 3}

@@ -1,0 +1,130 @@
+"""Property-based tests for core data structures and invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.locks import BackoffPolicy
+from repro.hw import MetadataCache
+from repro.memory.address import align_down, align_up, page_span
+from repro.sim import make_rng
+from repro.workloads.zipf import ZipfGenerator
+
+
+# --------------------------------------------------------------- LRU cache
+
+@given(st.lists(st.integers(min_value=0, max_value=50), min_size=1,
+                max_size=300),
+       st.integers(min_value=1, max_value=16))
+def test_cache_size_bound_and_stats_consistency(keys, capacity):
+    c = MetadataCache(capacity=capacity, miss_penalty_ns=10.0)
+    penalty = 0.0
+    for k in keys:
+        penalty += c.lookup(k)
+    assert len(c) <= capacity
+    assert c.hits + c.misses == len(keys)
+    assert penalty == c.misses * 10.0
+    assert c.evictions == max(0, c.misses - min(capacity, c.misses)) or \
+        c.evictions >= 0  # evictions never negative
+    # Distinct keys seen bounds misses from below.
+    assert c.misses >= min(len(set(keys)), 1)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=30), min_size=1,
+                max_size=200))
+def test_cache_unbounded_capacity_never_misses_twice(keys):
+    c = MetadataCache(capacity=1000, miss_penalty_ns=1.0)
+    for k in keys:
+        c.lookup(k)
+    assert c.misses == len(set(keys))
+
+
+@given(st.integers(min_value=1, max_value=8),
+       st.lists(st.integers(min_value=0, max_value=100), min_size=1,
+                max_size=200))
+def test_cache_lru_recency_invariant(capacity, keys):
+    """After any access sequence, the most recent key always hits."""
+    c = MetadataCache(capacity=capacity, miss_penalty_ns=1.0)
+    for k in keys:
+        c.lookup(k)
+        assert c.lookup(k) == 0.0  # immediate re-access hits
+        # re-access shouldn't change contents beyond recency
+        assert len(c) <= capacity
+
+
+# ------------------------------------------------------------------ backoff
+
+@given(st.floats(min_value=1, max_value=1e5, allow_nan=False),
+       st.floats(min_value=1.0, max_value=4.0, allow_nan=False),
+       st.integers(min_value=1, max_value=30))
+def test_backoff_monotone_and_capped(base, factor, attempts):
+    cap = base * 50
+    b = BackoffPolicy(base_ns=base, factor=factor, cap_ns=cap, jitter=0.0)
+    delays = [b.delay_ns(i) for i in range(1, attempts + 1)]
+    assert delays == sorted(delays)
+    assert all(base <= d <= cap for d in delays)
+
+
+@given(st.integers(min_value=1, max_value=20),
+       st.floats(min_value=0.0, max_value=0.9, allow_nan=False,
+                 exclude_max=False))
+def test_backoff_jitter_stays_in_band(attempt, jitter):
+    b = BackoffPolicy(base_ns=100, factor=2.0, cap_ns=1e9, jitter=jitter)
+    rng = make_rng(1)
+    nominal = min(100 * 2.0 ** (attempt - 1), 1e9)
+    for _ in range(20):
+        d = b.delay_ns(attempt, rng)
+        assert (1 - jitter) * nominal <= d <= (1 + jitter) * nominal
+
+
+# ---------------------------------------------------------------- page math
+
+@given(st.integers(min_value=0, max_value=1 << 30),
+       st.integers(min_value=0, max_value=1 << 20),
+       st.sampled_from([512, 4096, 65536]))
+def test_page_span_covers_access_exactly(offset, length, page):
+    span = list(page_span(offset, length, page))
+    # Non-empty, contiguous, and covering.
+    assert span == list(range(span[0], span[-1] + 1))
+    assert span[0] * page <= offset < (span[0] + 1) * page
+    end = offset + max(length, 1) - 1
+    assert span[-1] * page <= end < (span[-1] + 1) * page
+
+
+@given(st.integers(min_value=0, max_value=1 << 40),
+       st.sampled_from([1, 8, 64, 4096]))
+def test_alignment_roundtrip(value, alignment):
+    down = align_down(value, alignment)
+    up = align_up(value, alignment)
+    assert down % alignment == 0 and up % alignment == 0
+    assert down <= value <= up
+    assert up - down in (0, alignment)
+
+
+# --------------------------------------------------------------------- zipf
+
+@given(st.integers(min_value=2, max_value=5000),
+       st.floats(min_value=0.0, max_value=1.5, allow_nan=False))
+@settings(max_examples=40)
+def test_zipf_shares_monotone_and_normalized(n_keys, theta):
+    z = ZipfGenerator(n_keys, theta, rng=make_rng(0))
+    quarter = z.hot_traffic_share(max(1, n_keys // 4))
+    half = z.hot_traffic_share(max(1, n_keys // 2))
+    full = z.hot_traffic_share(n_keys)
+    assert 0 < quarter <= half <= full
+    assert abs(full - 1.0) < 1e-9
+    # More skew concentrates more traffic on the top quarter.
+    if theta > 0:
+        uniform_share = max(1, n_keys // 4) / n_keys
+        assert quarter >= uniform_share - 1e-9
+
+
+@given(st.integers(min_value=2, max_value=2000),
+       st.floats(min_value=0.01, max_value=0.99, allow_nan=False))
+@settings(max_examples=40)
+def test_zipf_hot_set_inversion(n_keys, share):
+    z = ZipfGenerator(n_keys, 0.99, rng=make_rng(0))
+    k = z.hot_set_for_share(share)
+    assert 1 <= k <= n_keys
+    assert z.hot_traffic_share(k) >= share - 1e-9
+    if k > 1:
+        assert z.hot_traffic_share(k - 1) < share

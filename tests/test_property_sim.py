@@ -1,0 +1,144 @@
+"""Property-based tests (hypothesis) for the DES kernel."""
+
+import heapq
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Resource, Simulator, Store
+from repro.sim.stats import StatAccumulator
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1e9, allow_nan=False),
+                min_size=1, max_size=40))
+def test_timeouts_fire_in_nondecreasing_time_order(delays):
+    """However timeouts are created, observed firing times never go back."""
+    sim = Simulator()
+    observed = []
+
+    def proc(d):
+        yield sim.timeout(d)
+        observed.append(sim.now)
+
+    for d in delays:
+        sim.process(proc(d))
+    sim.run()
+    assert observed == sorted(observed)
+    assert len(observed) == len(delays)
+    assert sim.now == max(delays)
+
+
+@given(st.lists(st.tuples(st.floats(min_value=0, max_value=1000,
+                                    allow_nan=False),
+                          st.floats(min_value=0, max_value=1000,
+                                    allow_nan=False)),
+                min_size=1, max_size=30),
+       st.integers(min_value=1, max_value=4))
+def test_resource_never_exceeds_capacity_and_serves_everyone(jobs, capacity):
+    """Random arrival/service times: occupancy <= capacity, all jobs done."""
+    sim = Simulator()
+    res = Resource(sim, capacity=capacity)
+    max_seen = [0]
+    done = [0]
+
+    def job(arrival, service):
+        yield sim.timeout(arrival)
+        yield res.acquire()
+        max_seen[0] = max(max_seen[0], res.in_use)
+        assert res.in_use <= capacity
+        try:
+            yield sim.timeout(service)
+        finally:
+            res.release()
+        done[0] += 1
+
+    for arrival, service in jobs:
+        sim.process(job(arrival, service))
+    sim.run()
+    assert done[0] == len(jobs)
+    assert res.in_use == 0
+    assert 1 <= max_seen[0] <= capacity
+
+
+@given(st.lists(st.integers(), min_size=1, max_size=50))
+def test_store_is_fifo_for_any_item_sequence(items):
+    sim = Simulator()
+    store = Store(sim)
+    out = []
+
+    def producer():
+        for item in items:
+            yield store.put(item)
+            yield sim.timeout(1)
+
+    def consumer():
+        for _ in items:
+            out.append((yield store.get()))
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    assert out == items
+
+
+@given(st.lists(st.tuples(st.integers(min_value=0, max_value=100),
+                          st.integers(min_value=1, max_value=100)),
+                min_size=1, max_size=25))
+def test_resource_fifo_grant_order(requests):
+    """Grants happen in request order regardless of hold times."""
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    grant_order = []
+
+    def job(idx, hold):
+        yield res.acquire()
+        grant_order.append(idx)
+        try:
+            yield sim.timeout(hold)
+        finally:
+            res.release()
+
+    # All requests issued at t=0 in index order.
+    for idx, (_, hold) in enumerate(requests):
+        sim.process(job(idx, hold))
+    sim.run()
+    assert grant_order == list(range(len(requests)))
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                          allow_nan=False), min_size=2, max_size=60),
+       st.integers(min_value=1, max_value=59))
+def test_stat_accumulator_merge_equals_pooled(xs, split):
+    split = min(split, len(xs) - 1)
+    a, b, pooled = StatAccumulator(), StatAccumulator(), StatAccumulator()
+    for x in xs[:split]:
+        a.add(x)
+        pooled.add(x)
+    for x in xs[split:]:
+        b.add(x)
+        pooled.add(x)
+    a.merge(b)
+    assert a.count == pooled.count
+    assert abs(a.mean - pooled.mean) < 1e-6 * max(1, abs(pooled.mean))
+    assert a.min == pooled.min and a.max == pooled.max
+
+
+@given(st.lists(st.floats(min_value=0.1, max_value=1e5, allow_nan=False),
+                min_size=1, max_size=30))
+@settings(max_examples=50)
+def test_busy_time_never_exceeds_elapsed(holds):
+    sim = Simulator()
+    res = Resource(sim, capacity=2)
+
+    def job(hold):
+        yield res.acquire()
+        try:
+            yield sim.timeout(hold)
+        finally:
+            res.release()
+
+    for h in holds:
+        sim.process(job(h))
+    sim.run()
+    assert 0 < res.busy_time() <= sim.now + 1e-9
+    assert 0 < res.utilization() <= 1.0 + 1e-12

@@ -1,0 +1,148 @@
+"""Property-based tests for the verbs layer: data integrity and RC
+ordering under randomized operation sequences."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import build
+from repro.verbs import Opcode, Sge, Worker, WorkRequest
+
+_few = settings(max_examples=15, deadline=None)
+
+
+@st.composite
+def sgl_layouts(draw):
+    """Random non-overlapping local slices plus a remote offset."""
+    n = draw(st.integers(min_value=1, max_value=8))
+    sizes = [draw(st.integers(min_value=1, max_value=128)) for _ in range(n)]
+    gaps = [draw(st.integers(min_value=0, max_value=64)) for _ in range(n)]
+    offsets = []
+    cursor = 0
+    for size, gap in zip(sizes, gaps):
+        offsets.append(cursor)
+        cursor += size + gap
+    remote_offset = draw(st.integers(min_value=0, max_value=512))
+    return list(zip(offsets, sizes)), remote_offset
+
+
+@given(sgl_layouts(), st.integers(min_value=0, max_value=2**31))
+@_few
+def test_sgl_write_gathers_any_layout(layout, seed):
+    """For any scatter layout, the remote region receives the exact
+    concatenation of the local slices."""
+    slices, remote_offset = layout
+    sim, cluster, ctx = build(machines=2)
+    lmr = ctx.register(0, 1 << 16)
+    rmr = ctx.register(1, 1 << 16)
+    qp = ctx.create_qp(0, 1)
+    w = Worker(ctx, 0)
+    rng = np.random.default_rng(seed)
+    chunks = []
+    for off, size in slices:
+        data = rng.integers(0, 256, size=size, dtype=np.uint8).tobytes()
+        lmr.write(off, data)
+        chunks.append(data)
+    wr = WorkRequest(Opcode.WRITE,
+                     sgl=[Sge(lmr, off, size) for off, size in slices],
+                     remote_mr=rmr, remote_offset=remote_offset)
+
+    def client():
+        yield from w.execute(qp, wr)
+
+    sim.run(until=sim.process(client()))
+    expected = b"".join(chunks)
+    assert rmr.read(remote_offset, len(expected)) == expected
+
+
+@given(sgl_layouts(), st.integers(min_value=0, max_value=2**31))
+@_few
+def test_read_scatters_any_layout(layout, seed):
+    """READ is the inverse: remote bytes scatter exactly into the SGL."""
+    slices, remote_offset = layout
+    sim, cluster, ctx = build(machines=2)
+    lmr = ctx.register(0, 1 << 16)
+    rmr = ctx.register(1, 1 << 16)
+    qp = ctx.create_qp(0, 1)
+    w = Worker(ctx, 0)
+    total = sum(size for _, size in slices)
+    rng = np.random.default_rng(seed)
+    payload = rng.integers(0, 256, size=total, dtype=np.uint8).tobytes()
+    rmr.write(remote_offset, payload)
+    wr = WorkRequest(Opcode.READ,
+                     sgl=[Sge(lmr, off, size) for off, size in slices],
+                     remote_mr=rmr, remote_offset=remote_offset)
+
+    def client():
+        yield from w.execute(qp, wr)
+
+    sim.run(until=sim.process(client()))
+    cursor = 0
+    for off, size in slices:
+        assert lmr.read(off, size) == payload[cursor:cursor + size]
+        cursor += size
+
+
+@given(st.lists(st.sampled_from(["write", "read", "cas", "faa"]),
+                min_size=2, max_size=12))
+@_few
+def test_rc_completion_order_for_any_op_mix(ops):
+    """Whatever the op mix, completions on one QP arrive in post order."""
+    sim, cluster, ctx = build(machines=2)
+    lmr = ctx.register(0, 1 << 16)
+    rmr = ctx.register(1, 1 << 16)
+    qp = ctx.create_qp(0, 1)
+    w = Worker(ctx, 0)
+    stamps = []
+
+    def client():
+        events = []
+        for i, op in enumerate(ops):
+            if op == "write":
+                wr = WorkRequest(Opcode.WRITE, wr_id=i,
+                                 sgl=[Sge(lmr, 0, 64)], remote_mr=rmr,
+                                 remote_offset=0, move_data=False)
+            elif op == "read":
+                wr = WorkRequest(Opcode.READ, wr_id=i,
+                                 sgl=[Sge(lmr, 0, 64)], remote_mr=rmr,
+                                 remote_offset=0, move_data=False)
+            elif op == "cas":
+                wr = WorkRequest(Opcode.CAS, wr_id=i, remote_mr=rmr,
+                                 remote_offset=0, compare=0, swap=0)
+            else:
+                wr = WorkRequest(Opcode.FAA, wr_id=i, remote_mr=rmr,
+                                 remote_offset=8, add=1)
+            events.append((yield from w.post(qp, wr)))
+        for ev in events:
+            comp = yield from w.wait(ev)
+            stamps.append((comp.wr_id, comp.timestamp_ns))
+
+    sim.run(until=sim.process(client()))
+    ids = [i for i, _ in stamps]
+    times = [t for _, t in stamps]
+    assert ids == list(range(len(ops)))
+    assert times == sorted(times)
+
+
+@given(st.lists(st.integers(min_value=-2**40, max_value=2**40), min_size=1,
+                max_size=10))
+@_few
+def test_faa_accumulates_any_addend_sequence(addends):
+    sim, cluster, ctx = build(machines=2)
+    rmr = ctx.register(1, 4096)
+    qp = ctx.create_qp(0, 1)
+    w = Worker(ctx, 0)
+    returned = []
+
+    def client():
+        for a in addends:
+            comp = yield from w.faa(qp, rmr, 0, add=a)
+            returned.append(comp.value)
+
+    sim.run(until=sim.process(client()))
+    # Each FAA returns the running sum so far (mod 2^64).
+    running = 0
+    for a, old in zip(addends, returned):
+        assert old == running % 2**64
+        running += a
+    assert rmr.read_u64(0) == running % 2**64

@@ -1,0 +1,86 @@
+"""Tests for the regression-tracking tool."""
+
+import json
+
+import pytest
+
+from repro.bench.regress import diff, load, main, snapshot
+
+
+def small_snapshot():
+    return snapshot(["table2"])
+
+
+def test_snapshot_structure():
+    snap = small_snapshot()
+    assert snap["format"] == 1
+    fig = snap["figures"]["Table II"]
+    assert fig["series"]["Latency (ns)"] == [92.0, 162.0]
+    assert fig["x"] == ["local socket", "remote socket"]
+
+
+def test_snapshot_is_deterministic():
+    assert small_snapshot() == small_snapshot()
+
+
+def test_diff_reports_no_drift_on_identity():
+    snap = small_snapshot()
+    assert diff(snap, snap) == []
+
+
+def test_diff_detects_value_drift():
+    base = small_snapshot()
+    cur = json.loads(json.dumps(base))
+    cur["figures"]["Table II"]["series"]["Latency (ns)"][1] = 200.0
+    drifts = diff(base, cur)
+    assert len(drifts) == 1
+    fig, label, worst = drifts[0]
+    assert (fig, label) == ("Table II", "Latency (ns)")
+    assert worst == pytest.approx(38 / 200)
+
+
+def test_diff_flags_structural_changes():
+    base = small_snapshot()
+    cur = json.loads(json.dumps(base))
+    del cur["figures"]["Table II"]["series"]["Bandwidth (GB/s)"]
+    cur["figures"]["Extra"] = {"title": "", "x": [], "series": {}}
+    drifts = dict(((f, s), w) for f, s, w in diff(base, cur))
+    assert drifts[("Table II", "Bandwidth (GB/s)")] == float("inf")
+    assert drifts[("Extra", "<figure>")] == float("inf")
+
+
+def test_diff_threshold_suppresses_small_drift():
+    base = small_snapshot()
+    cur = json.loads(json.dumps(base))
+    cur["figures"]["Table II"]["series"]["Latency (ns)"][0] = 92.5
+    assert diff(base, cur, threshold=0.02) == []
+    assert diff(base, cur, threshold=0.001) != []
+
+
+def test_cli_save_and_diff_roundtrip(tmp_path, capsys):
+    path = tmp_path / "base.json"
+    assert main(["save", str(path), "--targets", "table2"]) == 0
+    capsys.readouterr()
+    assert main(["diff", str(path), str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "no drift" in out
+
+
+def test_cli_diff_reports_drift(tmp_path, capsys):
+    path = tmp_path / "base.json"
+    main(["save", str(path), "--targets", "table2"])
+    data = load(str(path))
+    data["figures"]["Table II"]["series"]["Latency (ns)"][1] = 500.0
+    drifted = tmp_path / "drifted.json"
+    drifted.write_text(json.dumps(data))
+    capsys.readouterr()
+    assert main(["diff", str(path), str(drifted)]) == 1
+    out = capsys.readouterr().out
+    assert "Latency (ns)" in out
+
+
+def test_load_rejects_foreign_json(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text('{"hello": 1}')
+    with pytest.raises(ValueError):
+        load(str(bad))

@@ -1,0 +1,97 @@
+"""Edge cases for the RPC substrate."""
+
+import pytest
+
+from repro import build
+from repro.core.rpc import RpcServer
+from repro.verbs import Worker
+
+
+def test_channel_detects_response_mismatch():
+    """A reply that doesn't match the outstanding request id (stray or
+    reordered response) raises instead of being silently consumed."""
+    sim, cluster, ctx = build(machines=2)
+    server = RpcServer(ctx, 0)
+    server.start(lambda b, r: b)
+    w = Worker(ctx, 1)
+    ch = server.connect(1)
+    server_worker = Worker(ctx, 0)
+    # A stray response lands on the client's reply QP before its call.
+    failures = []
+
+    def stray():
+        yield from server_worker.send(ch.s2c, (999_999, "stray"), 32)
+
+    def caller():
+        yield sim.timeout(5000)
+        try:
+            yield from ch.call(w, "real")
+        except RuntimeError as exc:
+            failures.append(str(exc))
+
+    sim.process(stray())
+    p = sim.process(caller())
+    sim.run(until=p)
+    server.stop()
+    assert failures and "concurrent" in failures[0]
+
+
+def test_two_channels_multiplex_cleanly():
+    """The right way: one channel per caller; the shared inbox serves
+    both without crosstalk."""
+    sim, cluster, ctx = build(machines=3)
+    server = RpcServer(ctx, 0)
+    server.start(lambda b, r: b * 10)
+    results = {}
+
+    def caller(m):
+        w = Worker(ctx, m)
+        ch = server.connect(m)
+        out = []
+        for i in range(5):
+            out.append((yield from ch.call(w, m * 100 + i)))
+        results[m] = out
+
+    p1 = sim.process(caller(1))
+    p2 = sim.process(caller(2))
+    sim.run(until=p1)
+    sim.run(until=p2)
+    server.stop()
+    assert results[1] == [1000, 1010, 1020, 1030, 1040]
+    assert results[2] == [2000, 2010, 2020, 2030, 2040]
+
+
+def test_handler_exception_surfaces():
+    sim, cluster, ctx = build(machines=2)
+    server = RpcServer(ctx, 0)
+
+    def bad_handler(body, request):
+        raise ValueError("handler bug")
+
+    server.start(bad_handler)
+    w = Worker(ctx, 1)
+    ch = server.connect(1)
+
+    def caller():
+        yield from ch.call(w, "x")
+
+    p = sim.process(caller())
+    with pytest.raises(Exception):
+        sim.run()
+
+
+def test_server_stop_is_idempotent():
+    sim, cluster, ctx = build(machines=2)
+    server = RpcServer(ctx, 0)
+    server.start(lambda b, r: b)
+    server.stop()
+    server.stop()           # no-op
+    server.start(lambda b, r: b + 1)   # restartable after stop
+    w = Worker(ctx, 1)
+    ch = server.connect(1)
+
+    def caller():
+        return (yield from ch.call(w, 1))
+
+    assert sim.run(until=sim.process(caller())) == 2
+    server.stop()

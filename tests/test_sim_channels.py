@@ -1,0 +1,85 @@
+"""Unit tests for Channel."""
+
+import pytest
+
+from repro.sim import Channel, Simulator
+
+
+def test_channel_zero_latency_immediate_delivery():
+    sim = Simulator()
+    ch = Channel(sim)
+
+    def proc():
+        yield ch.send("m")
+        return (yield ch.recv())
+
+    p = sim.process(proc())
+    assert sim.run(until=p) == "m"
+
+
+def test_channel_latency_delays_delivery():
+    sim = Simulator()
+    ch = Channel(sim, latency_ns=100)
+    got = []
+
+    def receiver():
+        msg = yield ch.recv()
+        got.append((msg, sim.now))
+
+    sim.process(receiver())
+    ch.send("hello")
+    sim.run()
+    assert got == [("hello", 100)]
+
+
+def test_channel_preserves_fifo_order():
+    sim = Simulator()
+    ch = Channel(sim, latency_ns=50)
+    out = []
+
+    def receiver():
+        for _ in range(3):
+            out.append((yield ch.recv()))
+
+    sim.process(receiver())
+
+    def sender():
+        for i in range(3):
+            ch.send(i)
+            yield sim.timeout(1)
+
+    sim.process(sender())
+    sim.run()
+    assert out == [0, 1, 2]
+
+
+def test_channel_counters():
+    sim = Simulator()
+    ch = Channel(sim, latency_ns=10)
+    ch.send("a")
+    ch.send("b")
+
+    def receiver():
+        yield ch.recv()
+
+    sim.process(receiver())
+    sim.run()
+    assert ch.sent == 2
+    assert ch.received == 1
+    assert len(ch) == 1
+
+
+def test_channel_try_recv():
+    sim = Simulator()
+    ch = Channel(sim)
+    assert ch.try_recv() is None
+    ch.send("x")
+    sim.run()
+    assert ch.try_recv() == "x"
+    assert ch.received == 1
+
+
+def test_channel_negative_latency_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Channel(sim, latency_ns=-5)

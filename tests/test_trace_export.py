@@ -1,0 +1,54 @@
+"""Tests for Chrome-trace export of traced operations."""
+
+import json
+
+from repro import build
+from repro.verbs import OpTracer, Worker
+
+
+def _traced_run():
+    sim, cluster, ctx = build(machines=2)
+    tracer = OpTracer()
+    ctx.attach_tracer(tracer)
+    lmr = ctx.register(0, 1 << 16)
+    rmr = ctx.register(1, 1 << 16)
+    qp = ctx.create_qp(0, 1)
+    w = Worker(ctx, 0)
+
+    def client():
+        yield from w.write(qp, lmr, 0, rmr, 0, 64, move_data=False)
+        yield from w.read(qp, lmr, 0, rmr, 0, 64, move_data=False)
+
+    sim.run(until=sim.process(client()))
+    return tracer
+
+
+def test_chrome_trace_structure():
+    tracer = _traced_run()
+    events = tracer.to_chrome_trace()
+    assert events, "no events exported"
+    for ev in events:
+        assert ev["ph"] == "X"
+        assert ev["dur"] > 0
+        assert ev["ts"] >= 0
+        assert ev["cat"] in ("write", "read")
+        assert ev["args"]["bytes"] == 64
+    # Distinct tracks per opcode.
+    assert len({ev["tid"] for ev in events}) == 2
+
+
+def test_chrome_trace_events_are_contiguous_per_op():
+    tracer = _traced_run()
+    events = [e for e in tracer.to_chrome_trace() if e["cat"] == "write"]
+    events.sort(key=lambda e: e["ts"])
+    for a, b in zip(events, events[1:]):
+        assert b["ts"] >= a["ts"] + a["dur"] - 1e-6
+
+
+def test_dump_chrome_trace_roundtrips(tmp_path):
+    tracer = _traced_run()
+    path = tmp_path / "trace.json"
+    n = tracer.dump_chrome_trace(path)
+    loaded = json.loads(path.read_text())
+    assert len(loaded) == n
+    assert loaded[0]["ph"] == "X"

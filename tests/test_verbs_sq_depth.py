@@ -1,0 +1,76 @@
+"""Tests for send-queue depth enforcement."""
+
+import pytest
+
+from repro import build
+from repro.verbs import Opcode, Sge, Worker, WorkRequest
+
+
+def make(max_send_wr):
+    sim, cluster, ctx = build(machines=2)
+    lmr = ctx.register(0, 1 << 16)
+    rmr = ctx.register(1, 1 << 16)
+    qp = ctx.create_qp(0, 1, max_send_wr=max_send_wr)
+    w = Worker(ctx, 0)
+    return sim, ctx, lmr, rmr, qp, w
+
+
+def wr_of(lmr, rmr):
+    return WorkRequest(Opcode.WRITE, sgl=[Sge(lmr, 0, 32)], remote_mr=rmr,
+                       remote_offset=0, move_data=False)
+
+
+def test_posting_past_sq_depth_raises():
+    sim, ctx, lmr, rmr, qp, w = make(max_send_wr=4)
+
+    def client():
+        for _ in range(4):
+            yield from w.post(qp, wr_of(lmr, rmr))   # fills the SQ
+        yield from w.post(qp, wr_of(lmr, rmr))       # ENOMEM-equivalent
+
+    with pytest.raises(RuntimeError, match="send queue.*full"):
+        sim.run(until=sim.process(client()))
+
+
+def test_completions_free_sq_slots():
+    sim, ctx, lmr, rmr, qp, w = make(max_send_wr=2)
+
+    def client():
+        for _ in range(10):                          # 10 > depth: fine if
+            ev = yield from w.post(qp, wr_of(lmr, rmr))   # reaped each time
+            yield from w.wait(ev)
+
+    sim.run(until=sim.process(client()))
+    assert qp.completed == 10
+    assert qp.outstanding == 0
+
+
+def test_doorbell_batch_checked_as_a_whole():
+    sim, ctx, lmr, rmr, qp, w = make(max_send_wr=4)
+    wrs = [wr_of(lmr, rmr) for _ in range(5)]
+
+    def client():
+        yield from w.post_batch(qp, wrs)
+
+    with pytest.raises(RuntimeError, match="send queue.*full"):
+        sim.run(until=sim.process(client()))
+
+
+def test_default_depth_allows_normal_pipelining():
+    sim, ctx, lmr, rmr, qp, w = make(max_send_wr=256)
+
+    def client():
+        events = []
+        for _ in range(64):
+            events.append((yield from w.post(qp, wr_of(lmr, rmr))))
+        for ev in events:
+            yield from w.wait(ev)
+
+    sim.run(until=sim.process(client()))
+    assert qp.completed == 64
+
+
+def test_depth_validation():
+    sim, cluster, ctx = build(machines=2)
+    with pytest.raises(ValueError):
+        ctx.create_qp(0, 1, max_send_wr=0)

@@ -1,0 +1,141 @@
+"""Tests for per-op stage tracing (the latency-decomposition API)."""
+
+import pytest
+
+from repro import build
+from repro.verbs import OpTracer, Worker
+from repro.verbs.trace import STAGES
+
+
+@pytest.fixture()
+def rig():
+    sim, cluster, ctx = build(machines=2)
+    tracer = OpTracer()
+    ctx.attach_tracer(tracer)
+    lmr = ctx.register(0, 1 << 20)
+    rmr = ctx.register(1, 1 << 20)
+    qp = ctx.create_qp(0, 1)
+    w = Worker(ctx, 0)
+    return sim, ctx, tracer, lmr, rmr, qp, w
+
+
+def test_stages_sum_to_latency(rig):
+    sim, ctx, tracer, lmr, rmr, qp, w = rig
+
+    def client():
+        for _ in range(5):
+            yield from w.write(qp, lmr, 0, rmr, 0, 32, move_data=False)
+            yield from w.read(qp, lmr, 0, rmr, 0, 32, move_data=False)
+            yield from w.faa(qp, rmr, 64, add=1)
+
+    sim.run(until=sim.process(client()))
+    assert tracer.ops() == 15
+    for record in tracer.records:
+        assert sum(record.stages.values()) == pytest.approx(
+            record.latency_ns)
+        assert set(record.stages) <= set(STAGES)
+
+
+def test_decomposition_matches_paper_structure(rig):
+    """T_RNIC->Socket (wqe/exec/delivery) + T_Network + T_responder."""
+    sim, ctx, tracer, lmr, rmr, qp, w = rig
+
+    def client():
+        for _ in range(10):
+            yield from w.write(qp, lmr, 0, rmr, 0, 32, move_data=False)
+
+    sim.run(until=sim.process(client()))
+    b = tracer.breakdown("write")
+    p = ctx.params
+    # Both network traversals are pure fabric latency.
+    traverse = 2 * p.wire_latency_ns + p.switch_latency_ns
+    assert b["network"] == pytest.approx(traverse)
+    assert b["response_net"] == pytest.approx(traverse)
+    # The exec stage is at least the execution-unit occupancy.
+    assert b["exec"] >= p.exec_write_ns
+    # Responder includes processing + host DMA.
+    assert b["responder"] > p.responder_ns
+
+
+def test_read_has_larger_responder_share(rig):
+    sim, ctx, tracer, lmr, rmr, qp, w = rig
+
+    def client():
+        for _ in range(5):
+            yield from w.write(qp, lmr, 0, rmr, 0, 32, move_data=False)
+            yield from w.read(qp, lmr, 0, rmr, 0, 32, move_data=False)
+
+    sim.run(until=sim.process(client()))
+    assert (tracer.breakdown("read")["responder"]
+            > tracer.breakdown("write")["responder"] + 400)
+    assert tracer.mean_latency_ns("read") > tracer.mean_latency_ns("write")
+
+
+def test_tracer_attach_covers_existing_qps():
+    sim, cluster, ctx = build(machines=2)
+    lmr = ctx.register(0, 4096)
+    rmr = ctx.register(1, 4096)
+    qp = ctx.create_qp(0, 1)          # created BEFORE attach
+    tracer = OpTracer()
+    ctx.attach_tracer(tracer)
+    w = Worker(ctx, 0)
+
+    def client():
+        yield from w.write(qp, lmr, 0, rmr, 0, 8, move_data=False)
+
+    sim.run(until=sim.process(client()))
+    assert tracer.ops("write") == 1
+
+
+def test_tracer_record_cap_and_reset(rig):
+    sim, ctx, tracer, lmr, rmr, qp, w = rig
+    tracer.max_records = 3
+
+    def client():
+        for _ in range(6):
+            yield from w.write(qp, lmr, 0, rmr, 0, 8, move_data=False)
+
+    sim.run(until=sim.process(client()))
+    assert len(tracer.records) == 3
+    assert tracer.dropped == 3
+    assert tracer.ops("write") == 6   # stats still complete
+    tracer.reset()
+    assert tracer.ops() == 0 and not tracer.records
+
+
+def test_breakdown_table_renders(rig):
+    sim, ctx, tracer, lmr, rmr, qp, w = rig
+
+    def client():
+        yield from w.write(qp, lmr, 0, rmr, 0, 8, move_data=False)
+        yield from w.faa(qp, rmr, 0, add=1)
+
+    sim.run(until=sim.process(client()))
+    table = tracer.breakdown_table()
+    assert "write (ns)" in table and "fetch_and_add (ns)" in table
+    for stage in STAGES:
+        assert stage in table
+    assert "total latency" in table
+
+
+def test_tracer_queries_on_unknown_opcode_return_zero():
+    from repro.verbs import OpTracer
+    tracer = OpTracer()
+    assert tracer.ops("write") == 0
+    assert tracer.mean_latency_ns("write") == 0.0
+    assert tracer.mean_stage_ns("write", "exec") == 0.0
+    assert all(v == 0.0 for v in tracer.breakdown("write").values())
+
+
+def test_untraced_context_records_nothing():
+    sim, cluster, ctx = build(machines=2)
+    lmr = ctx.register(0, 4096)
+    rmr = ctx.register(1, 4096)
+    qp = ctx.create_qp(0, 1)
+    w = Worker(ctx, 0)
+
+    def client():
+        yield from w.write(qp, lmr, 0, rmr, 0, 8, move_data=False)
+
+    sim.run(until=sim.process(client()))
+    assert qp.tracer is None

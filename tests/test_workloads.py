@@ -1,0 +1,176 @@
+"""Unit + statistical tests for the workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.sim import make_rng
+from repro.workloads import (
+    KvStream,
+    OpKind,
+    Relation,
+    YcsbWorkload,
+    ZipfGenerator,
+    generate_relation,
+    partition_by_hash,
+)
+
+
+# ------------------------------------------------------------------ Zipf
+
+def test_zipf_ranks_in_range():
+    z = ZipfGenerator(1000, rng=make_rng(1))
+    s = z.sample(5000)
+    assert s.min() >= 0 and s.max() < 1000
+
+
+def test_zipf_skew_hottest_key_dominates():
+    z = ZipfGenerator(10_000, theta=0.99, rng=make_rng(2))
+    s = z.sample(50_000)
+    # Rank 0 should receive far more than uniform share (1/10000).
+    share0 = np.mean(s == 0)
+    assert share0 > 50 / 10_000
+
+
+def test_zipf_theta_zero_is_uniform():
+    z = ZipfGenerator(100, theta=0.0, rng=make_rng(3))
+    s = z.sample(100_000)
+    counts = np.bincount(s, minlength=100) / len(s)
+    assert np.all(np.abs(counts - 0.01) < 0.003)
+
+
+def test_zipf_hot_traffic_share_monotone_and_correct():
+    z = ZipfGenerator(1024, theta=0.99, rng=make_rng(4))
+    shares = [z.hot_traffic_share(1024 // d) for d in (4, 8, 16, 32)]
+    assert shares == sorted(shares, reverse=True)
+    assert z.hot_traffic_share(1024) == pytest.approx(1.0)
+    assert z.hot_traffic_share(0) == 0.0
+    # Empirical check: observed traffic to the top-256 keys matches.
+    s = z.sample(100_000)
+    observed = np.mean(s < 256)
+    assert observed == pytest.approx(z.hot_traffic_share(256), abs=0.01)
+
+
+def test_zipf_hot_set_for_share_inverts():
+    z = ZipfGenerator(1000, theta=0.99, rng=make_rng(5))
+    k = z.hot_set_for_share(0.5)
+    assert z.hot_traffic_share(k) >= 0.5
+    assert z.hot_traffic_share(k - 1) < 0.5
+
+
+def test_zipf_validation():
+    with pytest.raises(ValueError):
+        ZipfGenerator(0)
+    with pytest.raises(ValueError):
+        ZipfGenerator(10, theta=-1)
+    z = ZipfGenerator(10)
+    with pytest.raises(ValueError):
+        z.sample(0)
+    with pytest.raises(ValueError):
+        z.hot_traffic_share(11)
+    with pytest.raises(ValueError):
+        z.hot_set_for_share(0.0)
+
+
+def test_zipf_deterministic_with_seed():
+    a = ZipfGenerator(500, rng=make_rng(42)).sample(100)
+    b = ZipfGenerator(500, rng=make_rng(42)).sample(100)
+    assert np.array_equal(a, b)
+
+
+# ------------------------------------------------------------------ YCSB
+
+def test_ycsb_pure_write_mix():
+    w = YcsbWorkload(write_ratio=1.0, value_size=64, rng=make_rng(1))
+    ops = list(w.ops(500))
+    assert len(ops) == 500
+    assert all(o.kind is OpKind.WRITE and o.value_size == 64 for o in ops)
+
+
+def test_ycsb_mixed_ratio_statistics():
+    w = YcsbWorkload(write_ratio=0.3, rng=make_rng(2))
+    ops = list(w.ops(20_000))
+    writes = sum(o.kind is OpKind.WRITE for o in ops)
+    assert writes / len(ops) == pytest.approx(0.3, abs=0.02)
+
+
+def test_ycsb_validation():
+    with pytest.raises(ValueError):
+        YcsbWorkload(write_ratio=1.5)
+    with pytest.raises(ValueError):
+        YcsbWorkload(value_size=0)
+    with pytest.raises(ValueError):
+        list(YcsbWorkload().ops(0))
+
+
+# -------------------------------------------------------------- Relations
+
+def test_relation_generation_shape():
+    r = generate_relation(1000, key_space=500, seed=1)
+    assert len(r) == 1000
+    assert r.keys.min() >= 0 and r.keys.max() < 500
+
+
+def test_relation_partition_covers_all_and_balanced():
+    r = generate_relation(20_000, seed=2)
+    dests = r.partition(8)
+    counts = np.bincount(dests, minlength=8)
+    assert counts.sum() == 20_000
+    assert counts.min() > 0.8 * 20_000 / 8  # roughly balanced
+
+
+def test_relation_partition_deterministic():
+    r = generate_relation(100, seed=3)
+    assert np.array_equal(r.partition(4), r.partition(4))
+
+
+def test_relation_validation():
+    with pytest.raises(ValueError):
+        generate_relation(0)
+    with pytest.raises(ValueError):
+        generate_relation(10, key_space=0)
+    with pytest.raises(ValueError):
+        Relation(np.arange(3), np.arange(4))
+    with pytest.raises(ValueError):
+        Relation(np.arange(3), np.arange(3), tuple_bytes=8)
+    r = generate_relation(10)
+    with pytest.raises(ValueError):
+        r.partition(0)
+
+
+def test_join_selectivity_matches_expectation():
+    """Same key space => expected matches n*m/space."""
+    space = 4096
+    inner = generate_relation(8192, key_space=space, seed=4)
+    outer = generate_relation(8192, key_space=space, seed=5)
+    inner_set = {}
+    for k in inner.keys:
+        inner_set[int(k)] = inner_set.get(int(k), 0) + 1
+    matches = sum(inner_set.get(int(k), 0) for k in outer.keys)
+    expected = len(inner) * len(outer) / space
+    assert matches == pytest.approx(expected, rel=0.1)
+
+
+# ----------------------------------------------------------------- Streams
+
+def test_stream_shape_and_destinations():
+    s = KvStream(5000, entry_bytes=64, seed=1)
+    assert len(s) == 5000
+    d = s.destinations(6)
+    assert set(np.unique(d)) <= set(range(6))
+    counts = np.bincount(d, minlength=6)
+    assert counts.min() > 0.7 * 5000 / 6
+
+
+def test_partition_by_hash_stable():
+    keys = np.arange(100, dtype=np.int64)
+    assert np.array_equal(partition_by_hash(keys, 7),
+                          partition_by_hash(keys, 7))
+
+
+def test_stream_validation():
+    with pytest.raises(ValueError):
+        KvStream(0)
+    with pytest.raises(ValueError):
+        KvStream(10, entry_bytes=4)
+    with pytest.raises(ValueError):
+        partition_by_hash(np.arange(5), 0)

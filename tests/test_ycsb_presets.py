@@ -1,0 +1,74 @@
+"""Tests for the YCSB preset workloads and RMW handling."""
+
+import pytest
+
+from repro import build
+from repro.apps.hashtable import DisaggregatedHashTable, FrontEndConfig
+from repro.sim import make_rng
+from repro.workloads import OpKind, YcsbWorkload
+
+
+@pytest.mark.parametrize("name,write,rmw", [
+    ("A", 0.50, 0.0), ("B", 0.05, 0.0), ("C", 0.00, 0.0), ("F", 0.50, 1.0),
+])
+def test_preset_mixes(name, write, rmw):
+    w = YcsbWorkload.preset(name, n_keys=1000, rng=make_rng(1))
+    ops = list(w.ops(20_000))
+    writes = sum(o.kind is OpKind.WRITE for o in ops) / len(ops)
+    rmws = sum(o.kind is OpKind.RMW for o in ops) / len(ops)
+    reads = sum(o.kind is OpKind.READ for o in ops) / len(ops)
+    assert writes + rmws == pytest.approx(write, abs=0.02)
+    if rmw:
+        assert rmws == pytest.approx(write, abs=0.02)   # all writes are RMW
+        assert writes == pytest.approx(0.0, abs=0.01)
+    assert reads == pytest.approx(1 - write, abs=0.02)
+
+
+def test_preset_d_is_more_skewed_than_a():
+    a = YcsbWorkload.preset("A", n_keys=1000, rng=make_rng(2))
+    d = YcsbWorkload.preset("D", n_keys=1000, rng=make_rng(2))
+    assert (d.zipf.hot_traffic_share(10)
+            > a.zipf.hot_traffic_share(10))
+
+
+def test_preset_e_rejected_with_explanation():
+    with pytest.raises(ValueError, match="range scans"):
+        YcsbWorkload.preset("E")
+
+
+def test_unknown_preset_rejected():
+    with pytest.raises(ValueError):
+        YcsbWorkload.preset("Z")
+
+
+def test_rmw_ratio_validation():
+    with pytest.raises(ValueError):
+        YcsbWorkload(rmw_ratio=1.5)
+
+
+def test_hashtable_processes_rmw_ops():
+    sim, cluster, ctx = build(machines=4)
+    table = DisaggregatedHashTable(ctx, 1, FrontEndConfig(numa="matched"),
+                                   n_keys=256, hot_fraction=0.0)
+    fe = table.frontends[0]
+    workload = YcsbWorkload.preset("F", n_keys=256, rng=make_rng(3))
+
+    def client():
+        for op in workload.ops(40):
+            yield from fe.process(op)
+
+    sim.run(until=sim.process(client()))
+    assert fe.ops == 40
+    # RMW ops touch the table twice: cold reads + cold writes both counted.
+    assert fe.cold_ops > 40
+
+
+def test_hashtable_throughput_under_ycsb_a():
+    """A smoke measurement: workload A runs end-to-end at a sane rate."""
+    sim, cluster, ctx = build(machines=8)
+    table = DisaggregatedHashTable(ctx, 6, FrontEndConfig(numa="matched"),
+                                   n_keys=4096, hot_fraction=0.125)
+    result = table.run_throughput(
+        measure_ns=250_000, warmup_ns=60_000,
+        workload_kwargs=YcsbWorkload.PRESETS["A"] | {"n_keys": 4096})
+    assert 2.0 < result.mops < 12.0
