@@ -2,13 +2,24 @@
 
 PY ?= python
 
-.PHONY: install test bench figures figures-full scorecard experiments clean
+.PHONY: install test lint smoke bench figures figures-full scorecard experiments clean
 
 install:
 	pip install -e .
 
 test:
 	$(PY) -m pytest tests/
+
+# Static checks (configured in pyproject.toml); degrades gracefully when
+# ruff is not in the environment.
+lint:
+	@command -v ruff >/dev/null 2>&1 \
+		&& ruff check src tests benchmarks examples \
+		|| echo "ruff not installed; skipping lint (pip install ruff)"
+
+# Fast end-to-end sanity: build the model and run the quickstart example.
+smoke:
+	PYTHONPATH=src $(PY) examples/quickstart.py
 
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only

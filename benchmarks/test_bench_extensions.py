@@ -55,6 +55,20 @@ def test_ext5_replication(once):
     assert recovery[-1] > 3.5
 
 
+def test_ext6_multitenant(once):
+    from repro.bench import ext6_multitenant as ext6
+    fig = once(ext6.run, True)
+    inflation = fig.get("victim p99 inflation (x)").values
+    fifo_x, wfq_x = inflation
+    # WFQ bounds the victim's tail under a 10x noisy neighbour; FIFO lets
+    # the backlog multiply it.
+    assert wfq_x < 2.0
+    assert fifo_x > 2.0 * wfq_x
+    # Admission-control check carries non-zero explicit rejects.
+    adm = [c for c in fig.checks if c[0].startswith("(c)")][0]
+    assert "rejected" in adm[1] and " 0 rejected" not in adm[1]
+
+
 def test_ext2_port_scaling(once):
     fig = once(ext2.run, True)
     writes = fig.get("inbound 64 B writes").values

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Multi-tenant service plane: three tenants sharing one simulated RNIC.
+
+A "gold" tenant (weight 3) and a "silver" tenant (weight 1) compete for
+the fabric while a "batch" tenant is rate-capped with a token bucket and
+bounded by an admission window.  The plane's weighted-fair scheduler
+keeps gold/silver service in weight proportion, the bucket pins batch's
+throughput regardless of how hard it pushes, and overload is shed with
+explicit REJECTED completions — never a silent drop.
+
+Run:  python examples/multi_tenant_service.py
+"""
+
+from repro import build
+from repro.hw.params import ServiceConfig, TenantSpec
+from repro.tenancy import ServicePlane
+from repro.verbs import CompletionStatus
+
+
+def main() -> None:
+    sim, cluster, ctx = build(machines=4)
+    plane = ServicePlane(ctx, ServiceConfig(
+        tenants=(
+            TenantSpec("gold", weight=3.0),
+            TenantSpec("silver", weight=1.0),
+            TenantSpec("batch", rate_mops=0.4, burst_ops=4,
+                       max_inflight=8, max_queue_depth=8,
+                       deadline_ns=12_000.0),
+        ),
+        policy="wfq", scheduler_slots=2))
+    server = ctx.register(machine=0, size=1 << 16)
+
+    stop = [False]
+    rejected = [0]
+
+    def tenant_stream(name: str, machine: int, streams: int):
+        lmr = ctx.register(machine, 4096)
+        for i in range(streams):
+            def loop(i=i):
+                sess = plane.session(name, machine=machine, socket=i % 2)
+                while not stop[0]:
+                    comp = yield from sess.write(0, lmr, 0, server, 64 * i,
+                                                 64, move_data=False)
+                    if comp.status is CompletionStatus.REJECTED:
+                        rejected[0] += 1
+            sim.process(loop())
+
+    # Equal demand from gold and silver; batch floors the accelerator.
+    tenant_stream("gold", 1, 4)
+    tenant_stream("silver", 2, 4)
+    tenant_stream("batch", 3, 6)
+    sim.run(until=500_000.0)   # half a millisecond of fabric time
+    stop[0] = True
+
+    print("== multi-tenant service plane: one RNIC, three SLOs ==")
+    print(plane.metrics.report())
+    snap = plane.metrics.snapshot()
+    ratio = snap["gold"]["ops"] / snap["silver"]["ops"]
+    print(f"  gold/silver service ratio : {ratio:.2f} (weights 3:1)")
+    print(f"  batch goodput             : {snap['batch']['ops'] * 2:.0f} "
+          "kops/s (bucket caps at 400; the 12 us deadline sheds the rest)")
+    print(f"  batch ops shed explicitly : {snap['batch']['rejected']} "
+          f"(clients saw {rejected[0]} REJECTED completions)")
+    live = plane.connections.live_qps
+    print(f"  pooled QPs live           : gold={live('gold')} "
+          f"silver={live('silver')} batch={live('batch')} "
+          f"(cap {plane.connections.cap}/tenant)")
+
+
+if __name__ == "__main__":
+    main()

@@ -39,6 +39,7 @@ TARGETS = {
     "ext3": "repro.bench.ext3_stragglers",
     "ext4": "repro.bench.ext4_one_vs_two_sided",
     "ext5": "repro.bench.ext5_replication",
+    "ext6_multitenant": "repro.bench.ext6_multitenant",
     "breakdown": "repro.bench.breakdown",
     "scorecard": "repro.bench.scorecard",
 }

@@ -24,9 +24,14 @@ def main(argv=None) -> int:
     parser.add_argument("--full", action="store_true",
                         help="use the paper's full sweep ranges "
                              "(slower; default is a trimmed quick mode)")
+    parser.add_argument("--quick", action="store_true",
+                        help="trimmed quick mode (the default; explicit "
+                             "flag for scripts)")
     parser.add_argument("--plot", action="store_true",
                         help="also draw the figure as a terminal plot")
     args = parser.parse_args(argv)
+    if args.full and args.quick:
+        parser.error("--full and --quick are mutually exclusive")
     targets = sorted(TARGETS) if args.target == "all" else [args.target]
     for name in targets:
         module = importlib.import_module(TARGETS[name])

@@ -12,7 +12,7 @@ Everything the paper's observations depend on is modeled explicitly:
 * :mod:`repro.hw.machine` / :mod:`repro.hw.cluster` — composition.
 """
 
-from repro.hw.params import HardwareParams
+from repro.hw.params import HardwareParams, ServiceConfig, TenantSpec
 from repro.hw.dram import DramModel, AccessPattern
 from repro.hw.numa import NumaTopology
 from repro.hw.pcie import PcieLink
@@ -35,5 +35,7 @@ __all__ = [
     "PcieLink",
     "Rnic",
     "RnicPort",
+    "ServiceConfig",
     "Switch",
+    "TenantSpec",
 ]

@@ -29,44 +29,70 @@ class FaultInjector:
                  rng: Optional[np.random.Generator] = None):
         self.sim = sim
         self.rng = rng
-        self._afflicted: dict[int, RnicPort] = {}
+        #: id(port) -> (port, set of active fault kinds: "slow"/"jitter").
+        self._afflicted: dict[int, tuple[RnicPort, set[str]]] = {}
+
+    def _afflict(self, port: RnicPort, kind: str,
+                 duration_ns: Optional[float]) -> None:
+        entry = self._afflicted.get(id(port))
+        if entry is None:
+            entry = (port, set())
+            self._afflicted[id(port)] = entry
+        entry[1].add(kind)
+        if duration_ns is not None:
+            if duration_ns <= 0:
+                raise ValueError("duration must be positive")
+            self.sim.timeout(duration_ns).add_callback(
+                lambda _e, p=port, k=kind: self._heal(p, {k}))
 
     def slow_port(self, port: RnicPort, factor: float,
                   duration_ns: Optional[float] = None) -> None:
         """Scale every occupancy of ``port`` by ``factor`` (>= 1).
 
-        With ``duration_ns`` the port heals automatically.
+        With ``duration_ns`` the slowdown heals automatically — only the
+        slowdown: jitter injected independently on the same port stays.
         """
         if factor < 1.0:
             raise ValueError(f"slowdown factor must be >= 1: {factor}")
         port.slowdown = factor
-        self._afflicted[id(port)] = port
-        if duration_ns is not None:
-            if duration_ns <= 0:
-                raise ValueError("duration must be positive")
-            self.sim.timeout(duration_ns).add_callback(
-                lambda _e, p=port: self._heal(p))
+        self._afflict(port, "slow", duration_ns)
 
-    def jitter_port(self, port: RnicPort, max_extra_ns: float) -> None:
-        """Add uniform random [0, max_extra_ns) to every occupancy."""
+    def jitter_port(self, port: RnicPort, max_extra_ns: float,
+                    duration_ns: Optional[float] = None) -> None:
+        """Add uniform random [0, max_extra_ns) to every occupancy.
+
+        With ``duration_ns`` the jitter heals automatically, leaving any
+        independently injected slowdown in place.
+        """
         if max_extra_ns < 0:
             raise ValueError(f"negative jitter: {max_extra_ns}")
         if self.rng is None:
             raise ValueError("jitter requires an rng")
         port.jitter_rng = self.rng
         port.jitter_max_ns = max_extra_ns
-        self._afflicted[id(port)] = port
+        self._afflict(port, "jitter", duration_ns)
 
-    def _heal(self, port: RnicPort) -> None:
-        port.slowdown = 1.0
-        port.jitter_rng = None
-        port.jitter_max_ns = 0.0
-        self._afflicted.pop(id(port), None)
+    def _heal(self, port: RnicPort, kinds: Optional[set[str]] = None) -> None:
+        """Heal ``kinds`` (default: every fault) on ``port`` — and only
+        those, so a scheduled heal never wipes an unrelated injection."""
+        entry = self._afflicted.get(id(port))
+        if entry is None:
+            return
+        for kind in (entry[1] & kinds) if kinds is not None else set(entry[1]):
+            if kind == "slow":
+                port.slowdown = 1.0
+            else:
+                port.jitter_rng = None
+                port.jitter_max_ns = 0.0
+            entry[1].discard(kind)
+        if not entry[1]:
+            del self._afflicted[id(port)]
 
     def heal_all(self) -> None:
-        for port in list(self._afflicted.values()):
+        for port, _kinds in list(self._afflicted.values()):
             self._heal(port)
 
     @property
     def afflicted_count(self) -> int:
+        """Ports with at least one active fault (of either kind)."""
         return len(self._afflicted)

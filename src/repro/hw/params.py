@@ -25,10 +25,10 @@ Table III worst/best ~55%/49%          ``qpi_hop_ns`` on MMIO and DMA paths
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Any
+from dataclasses import dataclass, field, replace
+from typing import Any, Optional
 
-__all__ = ["HardwareParams"]
+__all__ = ["HardwareParams", "ServiceConfig", "TenantSpec"]
 
 KB = 1024
 MB = 1024 * KB
@@ -99,6 +99,14 @@ class HardwareParams:
     #: (Section II-B2: file-system throughput -50% from 40 to 120 clients).
     qp_cache_entries: int = 256
     qp_miss_penalty_ns: float = 400.0
+    #: Translation-cache entries displaced by every live QP beyond
+    #: ``qp_cache_entries``: QP contexts and translation entries share the
+    #: same on-device SRAM, so a QP explosion (Section III-D) steals
+    #: translation coverage and the seq/rand knee moves left.
+    qp_translation_footprint: int = 4
+    #: Floor on the effective translation-cache size under QP pressure
+    #: (the device always reserves a working set for the hot pages).
+    translation_cache_min_entries: int = 64
 
     # ---- PCIe (Section II-B3) ----------------------------------------------
     #: PCIe 3.0 x8 effective data rate ~7.88 GB/s.
@@ -218,6 +226,97 @@ class HardwareParams:
             raise ValueError("remote-socket DRAM bandwidth must be <= local")
         if self.max_inline_bytes < 0:
             raise ValueError("max_inline_bytes must be >= 0")
+        if self.qp_translation_footprint < 0:
+            raise ValueError("qp_translation_footprint must be >= 0")
+        if not 1 <= self.translation_cache_min_entries \
+                <= self.translation_cache_entries:
+            raise ValueError(
+                "translation_cache_min_entries must be in "
+                "[1, translation_cache_entries]")
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant of the service plane (see :mod:`repro.tenancy`).
+
+    ``weight`` steers the WFQ share; ``rate_mops``/``burst_ops`` bound the
+    tenant with a token bucket (``None`` = unmetered); the remaining fields
+    parameterize admission control.  Defaults are permissive: a tenant with
+    a bare ``TenantSpec(name=...)`` is scheduled fairly but never rejected.
+    """
+
+    name: str
+    #: WFQ weight: a weight-2 tenant receives twice the service share of a
+    #: weight-1 tenant while both are backlogged.
+    weight: float = 1.0
+    #: Token-bucket refill rate in MOPS (1 MOPS == 1 op/us); None = no cap.
+    rate_mops: Optional[float] = None
+    #: Token-bucket burst size in ops.
+    burst_ops: int = 32
+    #: Admission window: ops admitted but not yet completed.
+    max_inflight: int = 4096
+    #: Backpressure: reject when this many ops already wait in the
+    #: tenant's scheduler queue.
+    max_queue_depth: int = 4096
+    #: Load shedding: ops still queued this long after submission are
+    #: rejected at dispatch time instead of occupying the RNIC.
+    deadline_ns: Optional[float] = None
+
+    def validate(self) -> None:
+        if not self.name:
+            raise ValueError("tenant needs a non-empty name")
+        if self.weight <= 0:
+            raise ValueError(f"tenant {self.name}: weight must be > 0")
+        if self.rate_mops is not None and self.rate_mops <= 0:
+            raise ValueError(f"tenant {self.name}: rate_mops must be > 0")
+        if self.burst_ops < 1:
+            raise ValueError(f"tenant {self.name}: burst_ops must be >= 1")
+        if self.max_inflight < 1 or self.max_queue_depth < 1:
+            raise ValueError(
+                f"tenant {self.name}: admission windows must be >= 1")
+        if self.deadline_ns is not None and self.deadline_ns <= 0:
+            raise ValueError(f"tenant {self.name}: deadline must be > 0")
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Configuration of the multi-tenant service plane."""
+
+    tenants: tuple[TenantSpec, ...] = field(default_factory=tuple)
+    #: "wfq" = weighted fair queuing; "fifo" = arrival order (the
+    #: unisolated baseline a noisy neighbour can monopolize).
+    policy: str = "wfq"
+    #: Ops the plane keeps in service (granted, not yet completed) at
+    #: once — the pipelining window in front of the RNIC.
+    scheduler_slots: int = 8
+    #: Connection cap: live QPs per tenant before the ConnectionManager
+    #: LRU-evicts an idle one (the paper's Section III-D proxying bound).
+    qp_cap_per_tenant: int = 8
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "tenants", tuple(self.tenants))
+
+    def validate(self) -> None:
+        if not self.tenants:
+            raise ValueError("ServiceConfig needs at least one tenant")
+        names = [t.name for t in self.tenants]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate tenant names: {names}")
+        for t in self.tenants:
+            t.validate()
+        if self.policy not in ("wfq", "fifo"):
+            raise ValueError(f"policy must be 'wfq' or 'fifo': {self.policy!r}")
+        if self.scheduler_slots < 1:
+            raise ValueError("scheduler_slots must be >= 1")
+        if self.qp_cap_per_tenant < 1:
+            raise ValueError("qp_cap_per_tenant must be >= 1")
+
+    def tenant(self, name: str) -> TenantSpec:
+        for t in self.tenants:
+            if t.name == name:
+                return t
+        raise KeyError(f"unknown tenant {name!r} "
+                       f"(configured: {[t.name for t in self.tenants]})")
 
 
 #: Default parameter set used across benchmarks and examples.

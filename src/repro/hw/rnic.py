@@ -159,6 +159,35 @@ class Rnic:
         # they arrive on different ports — this is why a single remote
         # sequencer word plateaus at ~2.4 MOPS no matter how it is reached.
         self._atomic_locks: dict = {}
+        #: QPs currently attached to this device (either endpoint).  QP
+        #: contexts and translation entries share the metadata SRAM, so
+        #: beyond ``qp_cache_entries`` every extra live QP displaces
+        #: ``qp_translation_footprint`` translation entries — the paper's
+        #: QP-explosion effect (Section III-D), made first-class so the
+        #: tenancy layer's connection cap has something real to protect.
+        self.live_qps = 0
+
+    # -- connection-state SRAM pressure -------------------------------------
+    def qp_attached(self) -> None:
+        """Account one more live QP; repartitions the metadata SRAM."""
+        self.live_qps += 1
+        self._apply_qp_pressure()
+
+    def qp_detached(self) -> None:
+        """Account one fewer live QP (connection teardown/eviction)."""
+        if self.live_qps <= 0:
+            raise ValueError(f"{self.name}: qp_detached with no live QPs")
+        self.live_qps -= 1
+        self._apply_qp_pressure()
+
+    def _apply_qp_pressure(self) -> None:
+        p = self.params
+        overflow = max(0, self.live_qps - p.qp_cache_entries)
+        effective = max(p.translation_cache_min_entries,
+                        p.translation_cache_entries
+                        - overflow * p.qp_translation_footprint)
+        if effective != self.translation_cache.capacity:
+            self.translation_cache.set_capacity(effective)
 
     def atomic_word_lock(self, key) -> Resource:
         """Per-target-word serialization point for CAS/FAA."""

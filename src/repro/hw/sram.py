@@ -63,6 +63,19 @@ class MetadataCache:
         """Accumulated penalty of touching several keys (multi-page ops)."""
         return sum(self.lookup(k) for k in keys)
 
+    def set_capacity(self, capacity: int) -> None:
+        """Resize the cache (SRAM repartitioning under QP pressure).
+
+        Shrinking evicts LRU entries immediately; growing just raises the
+        bound.  Hit/miss counters are preserved.
+        """
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
     def invalidate(self, key: Hashable) -> None:
         """Drop one entry (e.g. MR deregistration)."""
         self._entries.pop(key, None)

@@ -22,7 +22,13 @@ from repro.sim.engine import (
 from repro.sim.resources import Resource, Store
 from repro.sim.channels import Channel
 from repro.sim.rng import make_rng, spawn_rngs
-from repro.sim.stats import RateMeter, StatAccumulator, WindowedRate
+from repro.sim.stats import (
+    RateMeter,
+    StatAccumulator,
+    WindowedRate,
+    percentile,
+    percentiles,
+)
 
 __all__ = [
     "AllOf",
@@ -40,5 +46,7 @@ __all__ = [
     "Timeout",
     "WindowedRate",
     "make_rng",
+    "percentile",
+    "percentiles",
     "spawn_rngs",
 ]

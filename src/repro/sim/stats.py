@@ -10,13 +10,44 @@ operations per second).  With simulator time in nanoseconds:
 from __future__ import annotations
 
 import math
-from typing import Optional
+from typing import Optional, Sequence
 
-__all__ = ["StatAccumulator", "RateMeter", "WindowedRate", "ns_to_us", "mops"]
+__all__ = ["StatAccumulator", "RateMeter", "WindowedRate", "ns_to_us", "mops",
+           "percentile", "percentiles"]
 
 
 def ns_to_us(ns: float) -> float:
     return ns / 1000.0
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0-100) of ``samples``, linearly
+    interpolated between closest ranks; 0.0 for an empty sequence.
+
+    Sorts a copy — for repeated queries over one sample set, sort once and
+    use :func:`percentiles`.
+    """
+    return percentiles(sorted(samples), [q])[0]
+
+
+def percentiles(sorted_samples: Sequence[float],
+                qs: Sequence[float]) -> list[float]:
+    """Percentiles of an already-sorted sample sequence (see
+    :func:`percentile`)."""
+    n = len(sorted_samples)
+    out = []
+    for q in qs:
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile must be in [0, 100]: {q}")
+        if n == 0:
+            out.append(0.0)
+            continue
+        rank = (n - 1) * q / 100.0
+        lo = math.floor(rank)
+        hi = math.ceil(rank)
+        frac = rank - lo
+        out.append(sorted_samples[lo] * (1 - frac) + sorted_samples[hi] * frac)
+    return out
 
 
 def mops(ops: int, elapsed_ns: float) -> float:

@@ -1,0 +1,227 @@
+"""The service plane: glue between tenants and the verbs layer.
+
+:class:`ServicePlane` owns the four tenancy components (connections, QoS,
+admission, metrics) and attaches itself to an :class:`RdmaContext`.  From
+then on, any :class:`~repro.verbs.verbs.Worker` posting to a
+tenant-tagged QP is mediated:
+
+1. the worker pays its normal WQE-prep + doorbell CPU cost;
+2. **admission** — over the inflight window or queue bound, the op
+   completes immediately with ``CompletionStatus.REJECTED``;
+3. **scheduling** — the op waits in its tenant's WFQ queue (token-bucket
+   gated) until granted a service slot; ops whose deadline lapses while
+   queued are shed with the same explicit status;
+4. the op runs the ordinary hardware pipeline; on completion the slot is
+   returned and per-tenant SLO metrics are recorded.
+
+Ops on untenanted QPs bypass the plane entirely — attaching a plane
+changes nothing for existing single-tenant code.
+
+Tenant-facing sugar lives in :class:`TenantSession`: a Worker bound to a
+tenant that leases pooled connections per remote machine on demand.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.hw.params import ServiceConfig
+from repro.sim import Event
+from repro.tenancy.admission import REJECT_DEADLINE, AdmissionController
+from repro.tenancy.connections import ConnectionManager
+from repro.tenancy.metrics import SLOMetrics
+from repro.tenancy.qos import SERVICE_UNIT_BYTES, QoSScheduler
+from repro.verbs.qp import QueuePair
+from repro.verbs.types import Completion, CompletionStatus, Opcode, Sge, WorkRequest
+from repro.verbs.verbs import RdmaContext, Worker
+
+__all__ = ["ServicePlane", "TenantSession"]
+
+
+class ServicePlane:
+    """Multi-tenant mediation layer over one RDMA context."""
+
+    def __init__(self, ctx: RdmaContext, config: ServiceConfig,
+                 attach: bool = True):
+        config.validate()
+        self.ctx = ctx
+        self.sim = ctx.sim
+        self.config = config
+        names = [t.name for t in config.tenants]
+        self.qos = QoSScheduler(ctx.sim, config)
+        self.admission = AdmissionController(ctx.sim, config)
+        self.metrics = SLOMetrics(ctx.sim, names)
+        self.connections = ConnectionManager(ctx, config)
+        if attach:
+            self.attach()
+
+    # -- lifecycle ----------------------------------------------------------
+    def attach(self) -> None:
+        if self.ctx.service_plane not in (None, self):
+            raise RuntimeError("context already has a service plane attached")
+        self.ctx.service_plane = self
+
+    def detach(self) -> None:
+        if self.ctx.service_plane is self:
+            self.ctx.service_plane = None
+
+    def adopt(self, qp: QueuePair, tenant: str) -> None:
+        """Bring an externally created QP under this plane: ops posted on
+        it are scheduled/admitted as ``tenant`` (used to run existing
+        apps — e.g. the hashtable front-ends — under tenancy).  Adopted
+        QPs are not pooled and never evicted."""
+        self.config.tenant(tenant)
+        qp.tenant = tenant
+        qp.trace_tags = {**(qp.trace_tags or {}), "tenant": tenant}
+
+    def session(self, tenant: str, machine: int, socket: int = 0,
+                name: str = "") -> "TenantSession":
+        return TenantSession(self, tenant, machine, socket, name=name)
+
+    # -- submission path (called by Worker.post/post_batch) ------------------
+    @staticmethod
+    def _cost(wr: WorkRequest) -> float:
+        return max(1.0, wr.total_length / SERVICE_UNIT_BYTES)
+
+    def _rejected_completion(self, wr: WorkRequest) -> Completion:
+        return Completion(wr_id=wr.wr_id, opcode=wr.opcode,
+                          status=CompletionStatus.REJECTED,
+                          timestamp_ns=self.sim.now, byte_len=0)
+
+    def _rejected_event(self, wr: WorkRequest) -> Event:
+        ev = Event(self.sim)
+        ev.succeed(self._rejected_completion(wr))
+        return ev
+
+    def submit(self, qp: QueuePair, wr: WorkRequest) -> Event:
+        """Queue one op; returns its completion event (which may already
+        carry a REJECTED completion)."""
+        tenant = qp.tenant
+        ok, reason = self.admission.try_admit(
+            tenant, self.qos.queue_depth(tenant))
+        if not ok:
+            self.metrics.record_reject(tenant, reason)
+            return self._rejected_event(wr)
+        done = Event(self.sim)
+        self.sim.process(
+            self._run_op(tenant, qp, wr, done, self.sim.now),
+            name=f"tenancy.{tenant}.{wr.opcode.value}")
+        return done
+
+    def submit_batch(self, qp: QueuePair,
+                     wrs: list[WorkRequest]) -> list[Event]:
+        """Queue a doorbell batch as one scheduling unit (its WFQ cost is
+        the batch total); admission admits or rejects it atomically."""
+        if not wrs:
+            raise ValueError("empty doorbell batch")
+        tenant = qp.tenant
+        ok, reason = self.admission.try_admit(
+            tenant, self.qos.queue_depth(tenant), n=len(wrs))
+        if not ok:
+            for _ in wrs:
+                self.metrics.record_reject(tenant, reason)
+            return [self._rejected_event(w) for w in wrs]
+        dones = [Event(self.sim) for _ in wrs]
+        self.sim.process(
+            self._run_batch(tenant, qp, wrs, dones, self.sim.now),
+            name=f"tenancy.{tenant}.doorbell[{len(wrs)}]")
+        return dones
+
+    def _finish_op(self, tenant: str, wr: WorkRequest, t0: float,
+                   comp: Completion, done: Event) -> None:
+        self.admission.release(tenant)
+        self.metrics.record_op(tenant, self.sim.now - t0, wr.total_length,
+                               wr.opcode.value)
+        done.succeed(comp)
+
+    def _run_op(self, tenant: str, qp: QueuePair, wr: WorkRequest,
+                done: Event, t0: float) -> Generator:
+        granted = yield self.qos.submit(
+            tenant, self._cost(wr), self.admission.deadline_for(tenant))
+        if not granted:
+            self.admission.release(tenant)
+            self.metrics.record_reject(tenant, REJECT_DEADLINE)
+            done.succeed(self._rejected_completion(wr))
+            return
+        comp = yield qp.post_send(wr)
+        self.qos.done(tenant)
+        self._finish_op(tenant, wr, t0, comp, done)
+
+    def _run_batch(self, tenant: str, qp: QueuePair, wrs: list[WorkRequest],
+                   dones: list[Event], t0: float) -> Generator:
+        cost = sum(self._cost(w) for w in wrs)
+        granted = yield self.qos.submit(
+            tenant, cost, self.admission.deadline_for(tenant))
+        if not granted:
+            self.admission.release(tenant, len(wrs))
+            for w, d in zip(wrs, dones):
+                self.metrics.record_reject(tenant, REJECT_DEADLINE)
+                d.succeed(self._rejected_completion(w))
+            return
+        events = qp.post_send_batch(wrs)
+        for w, ev, d in zip(wrs, events, dones):
+            ev.add_callback(
+                lambda e, w=w, d=d: self._finish_op(tenant, w, t0, e.value, d))
+        yield events[-1]
+        self.qos.done(tenant)
+
+
+class TenantSession:
+    """One tenant's client thread: a Worker plus on-demand pooled QPs."""
+
+    def __init__(self, plane: ServicePlane, tenant: str, machine: int,
+                 socket: int = 0, name: str = ""):
+        plane.config.tenant(tenant)
+        self.plane = plane
+        self.tenant = tenant
+        self.machine_id = machine
+        self.worker = Worker(plane.ctx, machine, socket,
+                             name=name or f"{tenant}.m{machine}.s{socket}")
+
+    @property
+    def metrics(self):
+        return self.plane.metrics[self.tenant]
+
+    def execute(self, remote: int, wr: WorkRequest,
+                **lease_kwargs: Any) -> Generator:
+        """Lease a pooled QP to ``remote``, run ``wr`` through the plane,
+        release the lease; returns the Completion (possibly REJECTED)."""
+        qp = self.plane.connections.lease(
+            self.tenant, self.machine_id, remote, **lease_kwargs)
+        try:
+            comp = yield from self.worker.execute(qp, wr)
+        finally:
+            self.plane.connections.release(qp)
+        return comp
+
+    # -- one-sided sugar -----------------------------------------------------
+    def write(self, remote: int, local_mr, local_offset: int, remote_mr,
+              remote_offset: int, length: int, move_data: bool = True,
+              wr_id: int = 0) -> Generator:
+        wr = WorkRequest(Opcode.WRITE, wr_id=wr_id,
+                         sgl=[Sge(local_mr, local_offset, length)],
+                         remote_mr=remote_mr, remote_offset=remote_offset,
+                         move_data=move_data)
+        return (yield from self.execute(remote, wr))
+
+    def read(self, remote: int, local_mr, local_offset: int, remote_mr,
+             remote_offset: int, length: int, move_data: bool = True,
+             wr_id: int = 0) -> Generator:
+        wr = WorkRequest(Opcode.READ, wr_id=wr_id,
+                         sgl=[Sge(local_mr, local_offset, length)],
+                         remote_mr=remote_mr, remote_offset=remote_offset,
+                         move_data=move_data)
+        return (yield from self.execute(remote, wr))
+
+    def cas(self, remote: int, remote_mr, remote_offset: int, compare: int,
+            swap: int, wr_id: int = 0) -> Generator:
+        wr = WorkRequest(Opcode.CAS, wr_id=wr_id, remote_mr=remote_mr,
+                         remote_offset=remote_offset, compare=compare,
+                         swap=swap)
+        return (yield from self.execute(remote, wr))
+
+    def faa(self, remote: int, remote_mr, remote_offset: int, add: int,
+            wr_id: int = 0) -> Generator:
+        wr = WorkRequest(Opcode.FAA, wr_id=wr_id, remote_mr=remote_mr,
+                         remote_offset=remote_offset, add=add)
+        return (yield from self.execute(remote, wr))

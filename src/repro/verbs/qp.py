@@ -80,6 +80,15 @@ class QueuePair:
         #: Optional OpTracer (see repro.verbs.trace); set by
         #: RdmaContext.attach_tracer or directly.  None = no overhead.
         self.tracer = None
+        #: Service-plane tenant owning this connection (set by
+        #: repro.tenancy); None = untenanted, bypasses the plane.
+        self.tenant: Optional[str] = None
+        #: Tags stamped onto every traced OpRecord of this QP (e.g.
+        #: ``{"tenant": "gold"}``); surfaces in Chrome-trace exports.
+        self.trace_tags: Optional[dict] = None
+        #: True once torn down (ConnectionManager eviction); posting to a
+        #: destroyed QP is a hard error.
+        self.destroyed = False
 
     @property
     def outstanding(self) -> int:
@@ -87,6 +96,8 @@ class QueuePair:
         return self.posted - self.completed
 
     def _check_sq_room(self, n: int) -> None:
+        if self.destroyed:
+            raise RuntimeError(f"QP {self.qp_id} has been destroyed")
         if self.outstanding + n > self.max_send_wr:
             raise RuntimeError(
                 f"send queue of QP {self.qp_id} full: {self.outstanding} "
@@ -152,7 +163,8 @@ class QueuePair:
         lport, rport = self.local_port, self.remote_port
         lrnic, rrnic = self.local_machine.rnic, self.remote_machine.rnic
         tracer = self.tracer
-        record = (tracer.begin(wr.opcode.value, wr.total_length, self.sim.now)
+        record = (tracer.begin(wr.opcode.value, wr.total_length, self.sim.now,
+                               tags=self.trace_tags)
                   if tracer is not None else None)
         _mark = self.sim.now
 

@@ -42,6 +42,11 @@ class OpRecord:
     start_ns: float
     end_ns: float = 0.0
     stages: dict = field(default_factory=dict)
+    #: Free-form labels attached at begin() time (e.g. the tenancy layer's
+    #: ``{"tenant": "gold"}``); flow into Chrome-trace event args, and a
+    #: ``tenant`` tag additionally groups the export into per-tenant
+    #: process tracks.
+    tags: Optional[dict] = None
 
     @property
     def latency_ns(self) -> float:
@@ -65,10 +70,20 @@ class OpTracer:
         self.dropped = 0
 
     # -- recording (called from the QP pipeline) ---------------------------
-    def begin(self, opcode: str, nbytes: int, now: float) -> OpRecord:
-        return OpRecord(opcode=opcode, nbytes=nbytes, start_ns=now)
+    def begin(self, opcode: str, nbytes: int, now: float,
+              tags: Optional[dict] = None) -> OpRecord:
+        return OpRecord(opcode=opcode, nbytes=nbytes, start_ns=now, tags=tags)
 
     def commit(self, record: OpRecord, now: float) -> None:
+        """Finalize a record: fold it into the aggregates and (space
+        permitting) keep it.
+
+        Aggregate statistics (``ops``/``mean_*``/``breakdown*``) always
+        count every committed record; ``dropped`` only tracks record
+        *storage* — once ``max_records`` is reached, further records are
+        not retained for export (``records``/``to_chrome_trace``) but
+        their stages and latency still land in the aggregates.
+        """
         record.end_ns = now
         for stage, dur in record.stages.items():
             self._stats[(record.opcode, stage)].add(dur)
@@ -125,12 +140,26 @@ class OpTracer:
         Perfetto JSON array format; timestamps in microseconds).
 
         Each op is a track (tid = opcode), each stage a complete event,
-        so the pipeline renders as a waterfall.
+        so the pipeline renders as a waterfall.  Records tagged with a
+        ``tenant`` render on that tenant's own process track (pid), with a
+        process_name metadata event naming it; all other tags pass through
+        into the event args.
         """
         events: list[dict] = []
-        tids = {}
+        tids: dict = {}
+        tenant_pids: dict = {}
         for record in self.records:
-            tid = tids.setdefault(record.opcode, len(tids) + 1)
+            tenant = (record.tags or {}).get("tenant")
+            if tenant is None:
+                pid = 1
+            elif tenant in tenant_pids:
+                pid = tenant_pids[tenant]
+            else:
+                pid = tenant_pids[tenant] = len(tenant_pids) + 2
+            tid = tids.setdefault((pid, record.opcode), len(tids) + 1)
+            args = {"bytes": record.nbytes}
+            if record.tags:
+                args.update(record.tags)
             cursor = record.start_ns
             for stage in STAGES:
                 dur = record.stages.get(stage, 0.0)
@@ -142,11 +171,16 @@ class OpTracer:
                     "ph": "X",
                     "ts": cursor / 1000.0,
                     "dur": dur / 1000.0,
-                    "pid": 1,
+                    "pid": pid,
                     "tid": tid,
-                    "args": {"bytes": record.nbytes},
+                    "args": args,
                 })
                 cursor += dur
+        for tenant, pid in tenant_pids.items():
+            events.append({
+                "name": "process_name", "ph": "M", "pid": pid,
+                "args": {"name": f"tenant {tenant}"},
+            })
         return events
 
     def dump_chrome_trace(self, path) -> int:

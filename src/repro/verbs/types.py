@@ -35,6 +35,10 @@ class CompletionStatus(enum.Enum):
     SUCCESS = "success"
     REMOTE_ACCESS_ERROR = "remote_access_error"
     LOCAL_ERROR = "local_error"
+    #: Shed by the service plane (admission control / deadline): the op
+    #: never reached the hardware, but still completes with this status —
+    #: rejections are observable, never silent (see repro.tenancy).
+    REJECTED = "rejected_by_service_plane"
 
 
 @dataclass(frozen=True)

@@ -36,6 +36,10 @@ class RdmaContext:
         self.regions: list[MemoryRegion] = []
         self.qps: list[QueuePair] = []
         self.tracer = None
+        #: Multi-tenant service plane (repro.tenancy.ServicePlane); when
+        #: attached, Workers route ops on tenant-tagged QPs through its
+        #: admission control and QoS scheduler.
+        self.service_plane = None
 
     def attach_tracer(self, tracer) -> None:
         """Enable per-op stage tracing (repro.verbs.trace.OpTracer) on all
@@ -69,7 +73,27 @@ class RdmaContext:
                        recv_queue=recv_queue, max_send_wr=max_send_wr)
         qp.tracer = self.tracer
         self.qps.append(qp)
+        # Connection state occupies metadata SRAM on both endpoint RNICs
+        # (Section II-B2/III-D); the devices repartition accordingly.
+        lm.rnic.qp_attached()
+        rm.rnic.qp_attached()
         return qp
+
+    def destroy_qp(self, qp: QueuePair) -> None:
+        """Tear a QP down: releases its SRAM footprint on both endpoint
+        RNICs and evicts its cached context.  Idempotent; the QP must have
+        no outstanding WRs."""
+        if qp.destroyed:
+            return
+        if qp.outstanding:
+            raise RuntimeError(
+                f"cannot destroy QP {qp.qp_id}: {qp.outstanding} WRs "
+                "outstanding")
+        qp.destroyed = True
+        self.qps.remove(qp)
+        for rnic in (qp.local_machine.rnic, qp.remote_machine.rnic):
+            rnic.qp_detached()
+            rnic.qp_cache.invalidate(qp.qp_id)
 
 
 class Worker:
@@ -124,16 +148,31 @@ class Worker:
         yield from self.compute(cost)
 
     # -- posting ---------------------------------------------------------------
+    def _plane_for(self, qp: QueuePair):
+        """The service plane mediating this QP, or None (untenanted path)."""
+        plane = self.ctx.service_plane
+        if plane is not None and qp.tenant is not None:
+            return plane
+        return None
+
     def post(self, qp: QueuePair, wr: WorkRequest) -> Generator:
         """Prep one WQE, ring the doorbell; returns the completion event.
 
         CPU cost: WQE prep (+ a small per-extra-SGE build cost) + MMIO,
         with a QPI penalty if the QP's port hangs off another socket.
+
+        On a tenant-tagged QP with a service plane attached, the op is
+        handed to the plane instead of going straight to the hardware: it
+        may queue behind the tenant's QoS share, or complete immediately
+        with ``CompletionStatus.REJECTED`` if admission control sheds it.
         """
         self._check_affinity(qp)
         prep = self.params.cpu_wqe_prep_ns * (1 + 0.2 * (wr.n_sge - 1))
         mmio = self.machine.topology.mmio_time(self.socket, qp.local_port.socket)
         yield from self.compute(prep + mmio)
+        plane = self._plane_for(qp)
+        if plane is not None:
+            return plane.submit(qp, wr)
         return qp.post_send(wr)
 
     def post_batch(self, qp: QueuePair, wrs: list[WorkRequest]) -> Generator:
@@ -143,6 +182,9 @@ class Worker:
                    for w in wrs)
         mmio = self.machine.topology.mmio_time(self.socket, qp.local_port.socket)
         yield from self.compute(prep + mmio)
+        plane = self._plane_for(qp)
+        if plane is not None:
+            return plane.submit_batch(qp, wrs)
         return qp.post_send_batch(wrs)
 
     def wait(self, completion_event: Event) -> Generator:

@@ -52,6 +52,15 @@ def test_replication_recovery(capsys):
     assert "state intact" in out and "mark-me" in out
 
 
+def test_multi_tenant_service(capsys):
+    out = run_example("multi_tenant_service.py", capsys)
+    assert "one RNIC, three SLOs" in out
+    ratio = float(out.split("service ratio :")[1].split("(")[0])
+    assert 2.5 < ratio < 3.5         # WFQ tracks the 3:1 weights
+    shed = int(out.split("shed explicitly :")[1].split("(")[0])
+    assert shed > 0                  # overload is shed, explicitly
+
+
 def test_advisor_tour(capsys):
     out = run_example("advisor_tour.py", capsys)
     assert "vector IO" in out

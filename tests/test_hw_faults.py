@@ -49,6 +49,52 @@ def test_slowdown_heals_on_schedule():
     assert injector.afflicted_count == 0
 
 
+def test_scheduled_slow_heal_preserves_jitter():
+    """Regression: a slow_port timer used to wipe jitter injected
+    independently on the same port."""
+    sim, cluster, ctx = build(machines=2)
+    injector = FaultInjector(sim, rng=make_rng(1))
+    port = cluster[0].port(0)
+    injector.slow_port(port, factor=3.0, duration_ns=5_000)
+    injector.jitter_port(port, max_extra_ns=200.0)
+    assert injector.afflicted_count == 1    # one port, two faults
+    sim.run(until=10_000)
+    assert port.slowdown == 1.0             # the slowdown healed...
+    assert port.jitter_max_ns == 200.0      # ...the jitter did not
+    assert port.jitter_rng is not None
+    assert injector.afflicted_count == 1
+    injector.heal_all()
+    assert port.jitter_max_ns == 0.0 and port.jitter_rng is None
+    assert injector.afflicted_count == 0
+
+
+def test_jitter_heals_on_schedule_leaving_slowdown():
+    sim, cluster, ctx = build(machines=2)
+    injector = FaultInjector(sim, rng=make_rng(1))
+    port = cluster[0].port(0)
+    injector.jitter_port(port, max_extra_ns=300.0, duration_ns=2_000)
+    injector.slow_port(port, factor=2.0)
+    sim.run(until=4_000)
+    assert port.jitter_max_ns == 0.0 and port.jitter_rng is None
+    assert port.slowdown == 2.0
+    assert injector.afflicted_count == 1
+    injector.heal_all()
+    assert port.slowdown == 1.0
+    assert injector.afflicted_count == 0
+
+
+def test_heal_is_idempotent_and_ignores_unafflicted():
+    sim, cluster, ctx = build(machines=2)
+    injector = FaultInjector(sim)
+    port = cluster[0].port(0)
+    injector._heal(port)                    # never afflicted: no-op
+    injector.slow_port(port, factor=2.0, duration_ns=1_000)
+    injector.heal_all()                     # heal before the timer fires
+    sim.run(until=2_000)                    # stale timer: still a no-op
+    assert port.slowdown == 1.0
+    assert injector.afflicted_count == 0
+
+
 def test_jitter_requires_rng_and_bounds():
     sim, cluster, ctx = build(machines=2)
     injector = FaultInjector(sim)

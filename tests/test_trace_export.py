@@ -4,6 +4,7 @@ import json
 
 from repro import build
 from repro.verbs import OpTracer, Worker
+from repro.verbs.trace import STAGES
 
 
 def _traced_run():
@@ -52,3 +53,60 @@ def test_dump_chrome_trace_roundtrips(tmp_path):
     loaded = json.loads(path.read_text())
     assert len(loaded) == n
     assert loaded[0]["ph"] == "X"
+
+
+def test_tags_flow_into_args_and_tenant_tracks():
+    tracer = OpTracer()
+    for tenant in ("gold", "bronze", "gold"):
+        rec = tracer.begin("write", 64, 0.0,
+                           tags={"tenant": tenant, "shard": 7})
+        rec.stages["exec"] = 100.0
+        tracer.commit(rec, 100.0)
+    untagged = tracer.begin("write", 64, 0.0)
+    untagged.stages["exec"] = 100.0
+    tracer.commit(untagged, 100.0)
+
+    events = tracer.to_chrome_trace()
+    xs = [e for e in events if e["ph"] == "X"]
+    assert [e["args"].get("tenant") for e in xs] == \
+        ["gold", "bronze", "gold", None]
+    assert all(e["args"]["shard"] == 7 for e in xs[:3])
+    # Same tenant -> same pid; untagged ops stay on pid 1.
+    assert xs[0]["pid"] == xs[2]["pid"] != xs[1]["pid"]
+    assert xs[3]["pid"] == 1
+    metas = {e["pid"]: e["args"]["name"] for e in events if e["ph"] == "M"}
+    assert metas == {xs[0]["pid"]: "tenant gold",
+                     xs[1]["pid"]: "tenant bronze"}
+
+
+def test_breakdown_table_contents():
+    tracer = _traced_run()
+    table = tracer.breakdown_table()
+    lines = table.splitlines()
+    assert "write (ns)" in lines[0] and "read (ns)" in lines[0]
+    for stage in STAGES:
+        assert any(line.lstrip().startswith(stage) for line in lines)
+    assert lines[-1].lstrip().startswith("total latency")
+    # The totals row carries the real mean latencies (columns are
+    # alphabetical: read, then write).
+    r, w = lines[-1].split()[-2:]
+    assert float(w) > 0 and float(r) > 0
+    assert abs(float(w) - tracer.mean_latency_ns("write")) < 1.0
+
+
+def test_commit_counts_dropped_records_into_aggregates():
+    """`dropped` tracks storage only: aggregates see every commit."""
+    tracer = OpTracer(max_records=1)
+    for lat in (100.0, 300.0):
+        rec = tracer.begin("write", 64, 0.0)
+        rec.stages["exec"] = lat
+        tracer.commit(rec, lat)
+    assert len(tracer.records) == 1
+    assert tracer.dropped == 1
+    assert tracer.ops("write") == 2                      # both counted
+    assert tracer.mean_latency_ns("write") == 200.0      # both averaged
+    assert tracer.mean_stage_ns("write", "exec") == 200.0
+    # Export only renders the stored record.
+    assert len(tracer.to_chrome_trace()) == 1
+    tracer.reset()
+    assert tracer.ops() == 0 and tracer.dropped == 0
