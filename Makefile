@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test lint smoke bench figures figures-full scorecard experiments clean
+.PHONY: install test lint smoke chaos bench figures figures-full scorecard experiments clean
 
 install:
 	pip install -e .
@@ -10,16 +10,24 @@ install:
 test:
 	$(PY) -m pytest tests/
 
-# Static checks (configured in pyproject.toml); degrades gracefully when
-# ruff is not in the environment.
+# Static checks (configured in pyproject.toml) over src AND tests /
+# benchmarks / examples.  Without ruff, fall back to byte-compiling the
+# same trees so lint never silently becomes a no-op.
 lint:
 	@command -v ruff >/dev/null 2>&1 \
 		&& ruff check src tests benchmarks examples \
-		|| echo "ruff not installed; skipping lint (pip install ruff)"
+		|| { echo "ruff not installed; falling back to compileall"; \
+		     $(PY) -m compileall -q src tests benchmarks examples; }
 
 # Fast end-to-end sanity: build the model and run the quickstart example.
 smoke:
 	PYTHONPATH=src $(PY) examples/quickstart.py
+
+# Fault-injection test subset: the reliability layer end-to-end (loss,
+# retransmission, QP error flushes, reconnect/failover) plus the
+# performance-fault injector.
+chaos:
+	PYTHONPATH=src $(PY) -m pytest tests/test_reliability.py tests/test_hw_faults.py -q
 
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only

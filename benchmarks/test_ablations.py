@@ -116,7 +116,8 @@ def test_ablation_qp_cache_thrash(once):
             for i in range(120):
                 qp = qps[i % len(qps)]
                 yield from workers[m].write(
-                    qp, lmrs[m], 0, server_mr, 0, 32, move_data=False)
+                    qp, src=lmrs[m][0:32], dst=server_mr[0:32],
+                    move_data=False)
                 done[0] += 1
 
         procs = [sim.process(client(m, mesh))

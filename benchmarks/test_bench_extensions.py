@@ -77,3 +77,28 @@ def test_ext2_port_scaling(once):
     assert writes[-1] / writes[0] == pytest.approx(4.0, rel=0.2)
     # ...while same-word atomics stay pinned at the word-lock rate.
     assert atomics[-1] / atomics[0] < 1.2
+
+
+def test_ext7_fault_recovery(once):
+    import re
+
+    from repro.bench import ext7_fault_recovery as ext7
+    fig = once(ext7.run, True)
+    p99 = fig.get("p99 write latency (us)").values
+    retrans = fig.get("transport retransmissions").values
+    # p99 inflates monotonically with the drop rate; the zero-loss run
+    # performs no retransmissions at all (sunny path untouched).
+    assert p99 == sorted(p99)
+    assert p99[-1] > 10 * p99[0]
+    assert retrans[0] == 0 and retrans[-1] > 0
+    # Goodput recovers to the pre-fault rate after the blackhole window.
+    hole = [c for c in fig.checks if c[0].startswith("(a) goodput")][0]
+    m = re.search(r"pre (\d+) -> hole min (\d+) -> post (\d+)", hole[1])
+    pre, hole_min, post = (float(g) for g in m.groups())
+    assert hole_min == 0
+    assert post >= 0.9 * pre
+    # Retry exhaustion is loud: the head WR reports RETRY_EXC_ERR and the
+    # queue behind it flushes -- never a silent success.
+    exh = [c for c in fig.checks if c[0].startswith("(c)")][0]
+    assert "retry_exceeded" in exh[1] and "wr_flushed" in exh[1]
+    assert "recovered=True" in exh[1]

@@ -39,8 +39,9 @@ def main() -> None:
             def loop(i=i):
                 sess = plane.session(name, machine=machine, socket=i % 2)
                 while not stop[0]:
-                    comp = yield from sess.write(0, lmr, 0, server, 64 * i,
-                                                 64, move_data=False)
+                    comp = yield from sess.write(
+                        0, src=lmr[0:64], dst=server[64 * i:64 * i + 64],
+                        move_data=False)
                     if comp.status is CompletionStatus.REJECTED:
                         rejected[0] += 1
             sim.process(loop())

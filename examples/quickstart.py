@@ -30,18 +30,18 @@ def main() -> None:
         # -- RDMA WRITE: push bytes into remote memory, no remote CPU. --
         local.write(0, b"hello, remote memory")
         t0 = sim.now
-        comp = yield from me.write(qp, local, 0, remote, 4096, 20)
+        comp = yield from me.write(qp, src=local[0:20], dst=remote[4096:4116])
         log.append(f"WRITE 20 B (cold)  : {(sim.now - t0) / 1000:6.2f} us "
                    f"(ok={comp.ok}; first touch pays RNIC "
                    "translation-cache misses)")
         t0 = sim.now
-        comp = yield from me.write(qp, local, 0, remote, 4096, 20)
+        comp = yield from me.write(qp, src=local[0:20], dst=remote[4096:4116])
         log.append(f"WRITE 20 B (warm)  : {(sim.now - t0) / 1000:6.2f} us "
                    "(the paper's 1.16 us anchor)")
 
         # -- RDMA READ: pull them back. --
         t0 = sim.now
-        yield from me.read(qp, local, 512, remote, 4096, 20)
+        yield from me.read(qp, src=remote[4096:4116], dst=local[512:532])
         log.append(f"READ  20 B         : {(sim.now - t0) / 1000:6.2f} us "
                    f"(got {local.read(512, 20)!r})")
 

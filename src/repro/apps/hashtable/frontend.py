@@ -30,8 +30,10 @@ from repro.apps.hashtable.layout import ENTRY_BYTES, pack_entry, unpack_entry
 from repro.core.locks import BackoffPolicy, RemoteSpinLock
 from repro.hw.dram import AccessPattern
 from repro.verbs import (
+    CompletionError,
     MemoryRegion,
     Opcode,
+    QPState,
     QueuePair,
     RdmaContext,
     Sge,
@@ -148,6 +150,7 @@ class FrontEnd:
         self.merge_reads = 0
         self.deferred_flushes = 0
         self.lease_flushes = 0
+        self.transport_retries = 0
 
     # ------------------------------------------------------------- plumbing
     def _local_port(self, socket: int) -> int:
@@ -177,6 +180,31 @@ class FrontEnd:
     def _next_version(self) -> int:
         self._version += 1
         return self._version
+
+    #: Retry budget for idempotent one-sided ops across transport faults.
+    MAX_OP_RETRIES = 3
+
+    def _reliable(self, op, qp: QueuePair, **kw) -> Generator:
+        """Run an idempotent block read/write, surviving transport faults.
+
+        The loss model drops requests before they execute at the
+        responder, and block READ/WRITEs overwrite whole ranges anyway, so
+        replaying a failed op is always safe.  After each failure the
+        errored QP is drained of its flushes and reconnected; the retry
+        budget keeps a hard-down back-end from spinning forever.
+        """
+        comp = None
+        for _attempt in range(self.MAX_OP_RETRIES + 1):
+            comp = yield from op(qp, **kw)
+            if comp.ok:
+                return comp
+            self.transport_retries += 1
+            while qp.state is QPState.ERR and qp.outstanding:
+                yield self.worker.sim.timeout(
+                    self.worker.params.retrans_timeout_ns)
+            if qp.state is QPState.ERR:
+                yield self.ctx.reconnect_qp(qp)
+        raise CompletionError(comp)
 
     # ------------------------------------------------------------ operations
     def process(self, op: Op) -> Generator:
@@ -285,23 +313,26 @@ class FrontEnd:
                 return False
         try:
             fully_dirty = len(dirty) == self.layout.block_entries
+            remote = block_mr[block_off:block_off + bb]
             if fully_dirty or not self.config.merge_flush:
                 # Whole block is ours (or burst-buffer semantics): write
                 # straight from the shadow.
-                yield from self.worker.write(
-                    qp, self.shadow, block * bb, block_mr, block_off, bb)
+                yield from self._reliable(
+                    self.worker.write, qp,
+                    src=self.shadow[block * bb:(block + 1) * bb], dst=remote)
             else:
                 # Merge-read so other front-ends' slots survive.
                 self.merge_reads += 1
-                yield from self.worker.read(
-                    qp, self.scratch, _BLOCK_BUF, block_mr, block_off, bb)
+                stage = self.scratch[_BLOCK_BUF:_BLOCK_BUF + bb]
+                yield from self._reliable(
+                    self.worker.read, qp, src=remote, dst=stage)
                 for slot in dirty:
                     raw = self.shadow.read(self._shadow_off(block, slot),
                                            ENTRY_BYTES)
                     self.scratch.write(_BLOCK_BUF + slot * ENTRY_BYTES, raw)
                 yield from self.worker.memcpy(len(dirty) * ENTRY_BYTES)
-                yield from self.worker.write(
-                    qp, self.scratch, _BLOCK_BUF, block_mr, block_off, bb)
+                yield from self._reliable(
+                    self.worker.write, qp, src=stage, dst=remote)
         finally:
             yield from lock.release()
         dirty.clear()
@@ -362,17 +393,21 @@ class FrontEnd:
                                        ENTRY_BYTES)
             else:
                 block_mr, block_off = self.backend.block_location(block)
-                yield from self.worker.read(
+                entry_off = block_off + slot * ENTRY_BYTES
+                yield from self._reliable(
+                    self.worker.read,
                     self._qp_for(self.layout.block_socket(block)),
-                    self.scratch, _BLOCK_BUF, block_mr,
-                    block_off + slot * ENTRY_BYTES, ENTRY_BYTES)
+                    src=block_mr[entry_off:entry_off + ENTRY_BYTES],
+                    dst=self.scratch[_BLOCK_BUF:_BLOCK_BUF + ENTRY_BYTES])
                 raw = self.scratch.read(_BLOCK_BUF, ENTRY_BYTES)
         else:
             self.cold_ops += 1
             mr, off = self.backend.cold_location(key)
-            yield from self.worker.read(
+            yield from self._reliable(
+                self.worker.read,
                 self._qp_for(self.layout.cold_socket(key)),
-                self.scratch, _ENTRY_BUF, mr, off, ENTRY_BYTES)
+                src=mr[off:off + ENTRY_BYTES],
+                dst=self.scratch[_ENTRY_BUF:_ENTRY_BUF + ENTRY_BYTES])
             raw = self.scratch.read(_ENTRY_BUF, ENTRY_BYTES)
         stored_key, version, value = unpack_entry(raw)
         if version == 0:

@@ -173,6 +173,22 @@ class DistributedShuffle:
             if stream.entry_bytes != self.config.entry_bytes:
                 raise ValueError("stream entry size mismatch")
             ex.stream = stream
+        # The 4x-slack heuristic can under-provision a lane when the hash
+        # partition is skewed (small streams, many executors).  Size lanes
+        # for the worst actual (src, dst) load; common configs fit the
+        # heuristic, so their registration sequence is unchanged.
+        need = 0
+        for ex in self.executors:
+            dests = ex.stream.destinations(self.n)
+            counts = np.bincount(dests, minlength=self.n)
+            need = max(need, int(counts.max()) * self.config.entry_bytes)
+        if need > self.lane_bytes:
+            self.lane_bytes = need
+            for ex in self.executors:
+                ex.inbound_mr = self.ctx.register(
+                    ex.machine, self.lane_bytes * self.n,
+                    socket=ex.inbound_mr.socket)
+        for ex in self.executors:
             if self.config.move_data:
                 self._serialize_stream(ex)
 
@@ -244,9 +260,13 @@ class DistributedShuffle:
                   cursors: list[int]) -> Generator:
         cfg = self.config
         off = (dst.lane_base(ex.index) + cursors[dst.index] * cfg.entry_bytes)
+        src = ex.stream_mr[e * cfg.entry_bytes:(e + 1) * cfg.entry_bytes]
+        # No retry logic here — shuffles restart the stage on failure, so a
+        # transport error must surface loudly rather than corrupt a lane.
         yield from ex.worker.write(
-            ex.qps[dst.index], ex.stream_mr, e * cfg.entry_bytes,
-            dst.inbound_mr, off, cfg.entry_bytes, move_data=cfg.move_data)
+            ex.qps[dst.index], src=src,
+            dst=dst.inbound_mr[off:off + cfg.entry_bytes],
+            move_data=cfg.move_data, raise_on_error=True)
         cursors[dst.index] += 1
         ex.sent += 1
         ex.rdma_writes += 1

@@ -40,6 +40,7 @@ TARGETS = {
     "ext4": "repro.bench.ext4_one_vs_two_sided",
     "ext5": "repro.bench.ext5_replication",
     "ext6_multitenant": "repro.bench.ext6_multitenant",
+    "ext7_fault_recovery": "repro.bench.ext7_fault_recovery",
     "breakdown": "repro.bench.breakdown",
     "scorecard": "repro.bench.scorecard",
 }

@@ -31,8 +31,10 @@ def _trace(placement: str, size: int = 32, n: int = 12) -> OpTracer:
 
     def client():
         for _ in range(n):
-            yield from w.write(qp, lmr, 0, rmr, 0, size, move_data=False)
-            yield from w.read(qp, lmr, 0, rmr, 0, size, move_data=False)
+            yield from w.write(qp, src=lmr[0:size], dst=rmr[0:size],
+                               move_data=False)
+            yield from w.read(qp, src=rmr[0:size], dst=lmr[0:size],
+                              move_data=False)
             yield from w.cas(qp, rmr, 0, compare=0, swap=0)
             yield from w.faa(qp, rmr, 8, add=1)
 

@@ -54,17 +54,19 @@ def _run_isolation(policy: str, noisy_streams: int, victim_ops: int) -> dict:
         sess = plane.session("victim", machine=1, socket=i % 2)
         lmr = ctx.register(1, 4096, socket=i % 2)
         for k in range(victim_ops):
-            comp = yield from sess.write(0, lmr, 0, srv_v,
-                                         (64 * k) % 4096, WRITE_BYTES,
-                                         move_data=False)
+            off = (64 * k) % 4096
+            comp = yield from sess.write(
+                0, src=lmr[0:WRITE_BYTES],
+                dst=srv_v[off:off + WRITE_BYTES], move_data=False)
             assert comp.ok
     def noisy_stream(i: int):
         sess = plane.session("noisy", machine=2, socket=i % 2)
         lmr = ctx.register(2, 4096, socket=i % 2)
         while not stop[0]:
-            yield from sess.write(0, lmr, 0, srv_n,
-                                  (64 * i) % 4096, WRITE_BYTES,
-                                  move_data=False)
+            off = (64 * i) % 4096
+            yield from sess.write(
+                0, src=lmr[0:WRITE_BYTES],
+                dst=srv_n[off:off + WRITE_BYTES], move_data=False)
 
     victims = [sim.process(victim_stream(i)) for i in range(VICTIM_STREAMS)]
     noisies = [sim.process(noisy_stream(i)) for i in range(noisy_streams)]
@@ -131,8 +133,10 @@ def _run_admission(burst_streams: int, ops_per_stream: int) -> dict:
         sess = plane.session("burst", machine=1 + i % 2, socket=i % 2)
         lmr = ctx.register(1 + i % 2, 4096, socket=i % 2)
         for k in range(ops_per_stream):
-            comp = yield from sess.write(0, lmr, 0, srv, (64 * i) % 4096,
-                                         WRITE_BYTES, move_data=False)
+            off = (64 * i) % 4096
+            comp = yield from sess.write(
+                0, src=lmr[0:WRITE_BYTES],
+                dst=srv[off:off + WRITE_BYTES], move_data=False)
             if comp.status is CompletionStatus.REJECTED:
                 outcomes["rejected"] += 1
             else:

@@ -26,6 +26,7 @@ from repro.sim import Simulator
 from repro.verbs import (
     MemoryRegion,
     Opcode,
+    QPState,
     QueuePair,
     RdmaContext,
     Sge,
@@ -137,12 +138,38 @@ class RemoteSpinLock:
         scratch_mr.write_u64(0, self.UNLOCKED)  # the zero word we write back
         self.acquisitions = 0
         self.failed_attempts = 0
+        self.transport_errors = 0
+
+    def _recover(self) -> Generator:
+        """Bring the QP back after a transport failure.
+
+        A ``RETRY_EXC_ERR``/flush means the op never executed at the
+        responder (the loss model drops requests before they reach it), so
+        lock operations are safe to retry — but first the errored QP must
+        drain its flushes and be reconnected.
+        """
+        qp = self.qp
+        if qp.state is not QPState.ERR:
+            return
+        while qp.outstanding:  # flushes complete on their own; just wait
+            yield self.worker.sim.timeout(self.worker.params.retrans_timeout_ns)
+        yield self.worker.ctx.reconnect_qp(qp)
 
     def try_acquire(self) -> Generator:
-        """One CAS attempt; returns True on success."""
+        """One CAS attempt; returns True on success.
+
+        Transport failures (lossy or blackholed path) count as failed
+        attempts: the QP is reconnected and the caller's acquire loop
+        simply spins again — degraded, not dead.
+        """
         comp = yield from self.worker.cas(
             self.qp, self.lock_mr, self.lock_offset,
             compare=self.UNLOCKED, swap=self.LOCKED)
+        if not comp.ok:
+            self.transport_errors += 1
+            yield from self._recover()
+            self.failed_attempts += 1
+            return False
         if comp.value == self.UNLOCKED:
             self.acquisitions += 1
             return True
@@ -168,14 +195,22 @@ class RemoteSpinLock:
         next CAS), which is how real remote locks keep the release off the
         critical path.  Set ``release_signaled=True`` to wait it out.
         """
-        wr = WorkRequest(Opcode.WRITE,
-                         sgl=[Sge(self.scratch_mr, 0, 8)],
-                         remote_mr=self.lock_mr,
-                         remote_offset=self.lock_offset,
-                         signaled=self.release_signaled)
-        ev = yield from self.worker.post(self.qp, wr)
-        if self.release_signaled:
-            yield from self.worker.wait(ev)
+        while True:
+            wr = WorkRequest(Opcode.WRITE,
+                             sgl=[Sge(self.scratch_mr, 0, 8)],
+                             remote_mr=self.lock_mr,
+                             remote_offset=self.lock_offset,
+                             signaled=self.release_signaled)
+            ev = yield from self.worker.post(self.qp, wr)
+            if not self.release_signaled:
+                return
+            comp = yield from self.worker.wait(ev)
+            if comp.ok:
+                return
+            # The unlock write is idempotent (stores the constant 0), so a
+            # transport failure is survivable: reconnect and rewrite.
+            self.transport_errors += 1
+            yield from self._recover()
 
 
 class RpcSpinLock:

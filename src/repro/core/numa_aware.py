@@ -163,14 +163,20 @@ class ProxySocketRouter:
                 qp = self.mesh.qp(args["remote"], socket)
                 if op == "write":
                     comp = yield from worker.write(
-                        qp, args["local_mr"], args["local_offset"],
-                        args["remote_mr"], args["remote_offset"],
-                        args["length"], move_data=args["move_data"])
+                        qp,
+                        src=args["local_mr"].slice(args["local_offset"],
+                                                   args["length"]),
+                        dst=args["remote_mr"].slice(args["remote_offset"],
+                                                    args["length"]),
+                        move_data=args["move_data"])
                 elif op == "read":
                     comp = yield from worker.read(
-                        qp, args["local_mr"], args["local_offset"],
-                        args["remote_mr"], args["remote_offset"],
-                        args["length"], move_data=args["move_data"])
+                        qp,
+                        src=args["remote_mr"].slice(args["remote_offset"],
+                                                    args["length"]),
+                        dst=args["local_mr"].slice(args["local_offset"],
+                                                   args["length"]),
+                        move_data=args["move_data"])
                 elif op == "faa":
                     comp = yield from worker.faa(
                         qp, args["remote_mr"], args["remote_offset"],
@@ -197,10 +203,13 @@ class ProxySocketRouter:
             qp = self.mesh.qp(remote, worker.socket)
             method = getattr(worker, op)
             if op in ("write", "read"):
-                comp = yield from method(
-                    qp, args["local_mr"], args["local_offset"],
-                    args["remote_mr"], args["remote_offset"],
-                    args["length"], move_data=args["move_data"])
+                local = args["local_mr"].slice(args["local_offset"],
+                                               args["length"])
+                rem = args["remote_mr"].slice(args["remote_offset"],
+                                              args["length"])
+                src, dst = ((local, rem) if op == "write" else (rem, local))
+                comp = yield from method(qp, src=src, dst=dst,
+                                         move_data=args["move_data"])
             elif op == "faa":
                 comp = yield from method(qp, args["remote_mr"],
                                          args["remote_offset"], args["add"])

@@ -103,8 +103,9 @@ class RpcServer:
         Posted asynchronously: the server thread pays the post cost but
         does not stall on the wire round trip.
         """
-        yield from self.worker.send_async(
-            request.reply_qp, (request.req_id, value), request.reply_bytes)
+        yield from self.worker.send(
+            request.reply_qp, (request.req_id, value), request.reply_bytes,
+            wait=False)
 
 
 class RpcChannel:

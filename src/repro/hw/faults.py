@@ -7,6 +7,16 @@ multiplicative slowdown and/or additive jitter on every occupancy — so
 the tail behaviour of the applications (shuffle stragglers, lock
 fairness under asymmetry) can be studied and tested.
 
+Beyond performance faults, the injector models *loss* faults, which the
+RC transport layer (:mod:`repro.verbs.qp`) turns into retransmissions,
+``RETRY_EXC_ERR`` completions, and QP error flushes:
+
+* :meth:`FaultInjector.drop_port` — i.i.d. packet loss at a probability;
+* :meth:`FaultInjector.blackhole_port` — 100% loss for a window (a
+  mis-programmed forwarding rule, a dying transceiver);
+* :meth:`FaultInjector.port_down` / :meth:`FaultInjector.port_up` — hard
+  link state, for failover studies.
+
 Injection is off by default and costs nothing when unused.
 """
 
@@ -29,7 +39,8 @@ class FaultInjector:
                  rng: Optional[np.random.Generator] = None):
         self.sim = sim
         self.rng = rng
-        #: id(port) -> (port, set of active fault kinds: "slow"/"jitter").
+        #: id(port) -> (port, set of active fault kinds:
+        #: "slow" / "jitter" / "drop" / "blackhole" / "down").
         self._afflicted: dict[int, tuple[RnicPort, set[str]]] = {}
 
     def _afflict(self, port: RnicPort, kind: str,
@@ -72,6 +83,44 @@ class FaultInjector:
         port.jitter_max_ns = max_extra_ns
         self._afflict(port, "jitter", duration_ns)
 
+    # -- loss faults (consumed by the RC transport in repro.verbs.qp) -------
+    def drop_port(self, port: RnicPort, prob: float,
+                  duration_ns: Optional[float] = None) -> None:
+        """Drop each packet through ``port`` i.i.d. with ``prob``.
+
+        Every lost packet costs the requester a transport timeout and a
+        retransmission; at ``retry_cnt`` losses in a row the WR fails with
+        ``RETRY_EXC_ERR``.  Requires an rng (the draws must be seeded so
+        loss schedules are reproducible).
+        """
+        if not 0.0 < prob <= 1.0:
+            raise ValueError(f"drop probability must be in (0, 1]: {prob}")
+        if self.rng is None:
+            raise ValueError("drop_port requires an rng")
+        port.loss_rng = self.rng
+        port.loss_prob = prob
+        self._afflict(port, "drop", duration_ns)
+
+    def blackhole_port(self, port: RnicPort,
+                       duration_ns: Optional[float] = None) -> None:
+        """Silently discard *all* traffic through ``port``.
+
+        Unlike :meth:`port_down` this is meant to be transient — pass
+        ``duration_ns`` and the window heals itself, leaving any
+        independently injected probabilistic drop in place.
+        """
+        port.link_up = False
+        self._afflict(port, "blackhole", duration_ns)
+
+    def port_down(self, port: RnicPort) -> None:
+        """Take the link down until :meth:`port_up` (or a heal)."""
+        port.link_up = False
+        self._afflict(port, "down", None)
+
+    def port_up(self, port: RnicPort) -> None:
+        """Bring a downed link back (heals only the "down" fault)."""
+        self._heal(port, {"down"})
+
     def _heal(self, port: RnicPort, kinds: Optional[set[str]] = None) -> None:
         """Heal ``kinds`` (default: every fault) on ``port`` — and only
         those, so a scheduled heal never wipes an unrelated injection."""
@@ -81,9 +130,16 @@ class FaultInjector:
         for kind in (entry[1] & kinds) if kinds is not None else set(entry[1]):
             if kind == "slow":
                 port.slowdown = 1.0
-            else:
+            elif kind == "jitter":
                 port.jitter_rng = None
                 port.jitter_max_ns = 0.0
+            elif kind == "drop":
+                port.loss_prob = 0.0
+                port.loss_rng = None
+            else:  # "blackhole" / "down" — link comes back only when
+                entry[1].discard(kind)  # ...no other link fault remains.
+                if not entry[1] & {"blackhole", "down"}:
+                    port.link_up = True
             entry[1].discard(kind)
         if not entry[1]:
             del self._afflicted[id(port)]

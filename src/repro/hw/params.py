@@ -175,6 +175,23 @@ class HardwareParams:
     #: ~100 MOPS total at 16 threads).
     local_faa_contention_ns: float = 10.0
 
+    # ---- RC transport reliability (retransmission / QP errors) -------------
+    #: Transport ACK timeout: a requester that has not seen the ACK of an
+    #: outstanding request this long after serializing it retransmits.
+    #: (Real IB timeouts are 4.096 us * 2^local_ack_timeout; 20 us is a
+    #: sim-friendly low setting of the same knob.)
+    retrans_timeout_ns: float = 20_000.0
+    #: Exponential-backoff multiplier applied to the timeout per retry.
+    retrans_backoff: float = 2.0
+    #: Ceiling on the backed-off timeout (truncated exponential backoff).
+    retrans_timeout_cap_ns: float = 500_000.0
+    #: Retransmissions before the WR completes with RETRY_EXC_ERR and the
+    #: QP enters the ERR state (IB's 3-bit retry_cnt maxes at 7).
+    retry_cnt: int = 7
+    #: Control-plane cost of cycling a QP through RESET back to RTS
+    #: (re-exchange of QPNs/PSNs out of band; ~tens of us in practice).
+    qp_reconnect_ns: float = 50_000.0
+
     # ---- RPC substrate (two-sided Send/Recv, Section III-E) -----------------
     #: Server CPU service time per RPC request.  1/700 ns = 1.43 MOPS,
     #: the RPC sequencer plateau of Fig 10b.
@@ -233,6 +250,17 @@ class HardwareParams:
             raise ValueError(
                 "translation_cache_min_entries must be in "
                 "[1, translation_cache_entries]")
+        if self.retrans_timeout_ns <= 0:
+            raise ValueError("retrans_timeout_ns must be positive")
+        if self.retrans_backoff < 1.0:
+            raise ValueError("retrans_backoff must be >= 1")
+        if self.retrans_timeout_cap_ns < self.retrans_timeout_ns:
+            raise ValueError(
+                "retrans_timeout_cap_ns must be >= retrans_timeout_ns")
+        if self.retry_cnt < 0:
+            raise ValueError("retry_cnt must be >= 0")
+        if self.qp_reconnect_ns < 0:
+            raise ValueError("qp_reconnect_ns must be >= 0")
 
 
 @dataclass(frozen=True)

@@ -52,12 +52,41 @@ class RnicPort:
         self.slowdown = 1.0
         self.jitter_rng = None
         self.jitter_max_ns = 0.0
+        # Loss-fault hooks: probabilistic packet drop and link state.  The
+        # RC transport (repro.verbs.qp) consults packet_lost() once per
+        # transmission attempt; all-default state never draws from an rng,
+        # so the sunny path stays bit-identical with faults compiled in.
+        self.loss_prob = 0.0
+        self.loss_rng = None
+        self.link_up = True
+        self.packets_dropped = 0
 
     def _perturb(self, hold: float) -> float:
         hold *= self.slowdown
         if self.jitter_rng is not None and self.jitter_max_ns > 0:
             hold += float(self.jitter_rng.uniform(0, self.jitter_max_ns))
         return hold
+
+    @property
+    def lossy(self) -> bool:
+        """True when this port can currently drop traffic."""
+        return not self.link_up or self.loss_prob > 0.0
+
+    def packet_lost(self) -> bool:
+        """Sample one transmission attempt through this port.
+
+        A downed link loses everything; otherwise each attempt is an
+        independent Bernoulli draw at ``loss_prob``.  Never touches the
+        rng when no loss fault is active.
+        """
+        if not self.link_up:
+            self.packets_dropped += 1
+            return True
+        if self.loss_prob > 0.0 and self.loss_rng is not None:
+            if float(self.loss_rng.random()) < self.loss_prob:
+                self.packets_dropped += 1
+                return True
+        return False
 
     @property
     def params(self) -> HardwareParams:

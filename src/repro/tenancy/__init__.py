@@ -29,7 +29,7 @@ Quick start::
     plane = ServicePlane(ctx, ServiceConfig(tenants=(
         TenantSpec("gold", weight=3), TenantSpec("bronze"))))
     sess = plane.session("gold", machine=1)
-    # ... yield from sess.write(0, lmr, 0, rmr, 0, 64) inside a process
+    # ... yield from sess.write(0, src=lmr[0:64], dst=rmr[0:64]) in a process
     print(plane.metrics.report())
 
 Experiment: ``python -m repro.bench ext6_multitenant``.

@@ -21,7 +21,7 @@ class TenantSLO:
     """Mutable per-tenant accumulator."""
 
     __slots__ = ("ops", "bytes", "latencies", "rejects", "by_opcode",
-                 "first_ns", "last_ns")
+                 "first_ns", "last_ns", "retries", "errors")
 
     def __init__(self):
         self.ops = 0
@@ -31,10 +31,27 @@ class TenantSLO:
         self.by_opcode: Counter = Counter()
         self.first_ns = 0.0
         self.last_ns = 0.0
+        #: Transport retransmissions absorbed by this tenant's ops (ops
+        #: that recovered still count as successes — this is the hidden
+        #: cost of a lossy path).
+        self.retries = 0
+        #: Failed completions by status value ("retry_exceeded",
+        #: "wr_flushed", ...); rejects are tracked separately because
+        #: admission drops never reached the hardware.
+        self.errors: Counter = Counter()
 
     @property
     def rejected(self) -> int:
         return sum(self.rejects.values())
+
+    @property
+    def errored(self) -> int:
+        return sum(self.errors.values())
+
+    @property
+    def error_rate(self) -> float:
+        total = self.ops + self.errored
+        return self.errored / total if total else 0.0
 
     @property
     def reject_rate(self) -> float:
@@ -64,8 +81,20 @@ class SLOMetrics:
         return self.tenants[tenant]
 
     def record_op(self, tenant: str, latency_ns: float, nbytes: int,
-                  opcode: str) -> None:
+                  opcode: str, status: str = "success",
+                  retries: int = 0) -> None:
+        """Fold one finished op into the tenant's ledger.
+
+        Successful ops count toward goodput and the latency percentiles;
+        failed completions (``status`` != "success") only count in
+        ``errors`` — a flushed WR moved no bytes.  ``retries`` accumulate
+        either way: a lossy path taxes the tenant even when ops recover.
+        """
         slo = self.tenants[tenant]
+        slo.retries += retries
+        if status != "success":
+            slo.errors[status] += 1
+            return
         if slo.ops == 0:
             slo.first_ns = self.sim.now - latency_ns
         slo.ops += 1
@@ -93,20 +122,25 @@ class SLOMetrics:
                 "rejected": slo.rejected,
                 "reject_rate": slo.reject_rate,
                 "rejects_by_reason": dict(slo.rejects),
+                "retries": slo.retries,
+                "errored": slo.errored,
+                "error_rate": slo.error_rate,
+                "errors_by_status": dict(slo.errors),
             }
         return out
 
     def report(self) -> str:
         """ASCII SLO table, one row per tenant."""
         header = ["tenant", "ops", "GB/s", "p50 us", "p99 us", "p999 us",
-                  "rejected", "rej %"]
+                  "rejected", "rej %", "retries", "errors"]
         rows = []
         for name, s in self.snapshot().items():
             rows.append([
                 name, str(s["ops"]), f"{s['goodput_gbps']:.3f}",
                 f"{s['p50_us']:.2f}", f"{s['p99_us']:.2f}",
                 f"{s['p999_us']:.2f}", str(s["rejected"]),
-                f"{100 * s['reject_rate']:.1f}",
+                f"{100 * s['reject_rate']:.1f}", str(s["retries"]),
+                str(s["errored"]),
             ])
         widths = [max(len(header[c]), *(len(r[c]) for r in rows)) if rows
                   else len(header[c]) for c in range(len(header))]

@@ -131,7 +131,8 @@ class ServicePlane:
                    comp: Completion, done: Event) -> None:
         self.admission.release(tenant)
         self.metrics.record_op(tenant, self.sim.now - t0, wr.total_length,
-                               wr.opcode.value)
+                               wr.opcode.value, status=comp.status.value,
+                               retries=comp.retries)
         done.succeed(comp)
 
     def _run_op(self, tenant: str, qp: QueuePair, wr: WorkRequest,
@@ -195,21 +196,23 @@ class TenantSession:
         return comp
 
     # -- one-sided sugar -----------------------------------------------------
-    def write(self, remote: int, local_mr, local_offset: int, remote_mr,
-              remote_offset: int, length: int, move_data: bool = True,
-              wr_id: int = 0) -> Generator:
+    # Same two call forms as Worker.write/read: slice-based src=/dst=
+    # (preferred) or the deprecated five-positional legacy form.
+    def write(self, remote: int, *legacy, src=None, dst=None,
+              move_data: bool = True, wr_id: int = 0) -> Generator:
+        loc, rem = self.worker._resolve_transfer("write", legacy, src, dst)
         wr = WorkRequest(Opcode.WRITE, wr_id=wr_id,
-                         sgl=[Sge(local_mr, local_offset, length)],
-                         remote_mr=remote_mr, remote_offset=remote_offset,
+                         sgl=[Sge(loc.mr, loc.offset, loc.length)],
+                         remote_mr=rem.mr, remote_offset=rem.offset,
                          move_data=move_data)
         return (yield from self.execute(remote, wr))
 
-    def read(self, remote: int, local_mr, local_offset: int, remote_mr,
-             remote_offset: int, length: int, move_data: bool = True,
-             wr_id: int = 0) -> Generator:
+    def read(self, remote: int, *legacy, src=None, dst=None,
+             move_data: bool = True, wr_id: int = 0) -> Generator:
+        loc, rem = self.worker._resolve_transfer("read", legacy, src, dst)
         wr = WorkRequest(Opcode.READ, wr_id=wr_id,
-                         sgl=[Sge(local_mr, local_offset, length)],
-                         remote_mr=remote_mr, remote_offset=remote_offset,
+                         sgl=[Sge(loc.mr, loc.offset, loc.length)],
+                         remote_mr=rem.mr, remote_offset=rem.offset,
                          move_data=move_data)
         return (yield from self.execute(remote, wr))
 

@@ -15,31 +15,35 @@ Typical use::
     w   = Worker(ctx, machine=0, socket=0)
 
     def client():
-        comp = yield from w.write(qp, lmr, 0, mr, 128, 64)
-        comp = yield from w.cas(qp, mr, 0, expected=0, desired=1)
+        comp = yield from w.write(qp, src=lmr[0:64], dst=mr[128:192])
+        comp = yield from w.cas(qp, mr, 0, compare=0, swap=1)
 """
 
 from repro.verbs.types import (
     Completion,
+    CompletionError,
     CompletionStatus,
     Opcode,
     Sge,
     WorkRequest,
 )
-from repro.verbs.mr import MemoryRegion
+from repro.verbs.mr import MemoryRegion, MrSlice
 from repro.verbs.cq import CompletionQueue
-from repro.verbs.qp import QueuePair
+from repro.verbs.qp import QPState, QueuePair
 from repro.verbs.trace import OpRecord, OpTracer
 from repro.verbs.verbs import RdmaContext, Worker
 
 __all__ = [
     "Completion",
+    "CompletionError",
     "CompletionQueue",
     "CompletionStatus",
     "MemoryRegion",
+    "MrSlice",
     "Opcode",
     "OpRecord",
     "OpTracer",
+    "QPState",
     "QueuePair",
     "RdmaContext",
     "Sge",

@@ -1,13 +1,21 @@
-"""Memory regions: registered, rkey-protected windows of host memory."""
+"""Memory regions: registered, rkey-protected windows of host memory.
+
+:class:`MrSlice` is a zero-cost view ``(mr, offset, length)`` — the
+currency of the slice-based verbs API: ``mr[64:128]`` (or
+``mr.slice(64, 64)``) names a byte range without the offset/length
+positional sprawl, and ``Worker.read/write`` accept them as ``src=`` /
+``dst=``.
+"""
 
 from __future__ import annotations
 
 import itertools
+from dataclasses import dataclass
 
 from repro.memory.address import pages_of
 from repro.memory.buffer import RdmaBuffer
 
-__all__ = ["MemoryRegion"]
+__all__ = ["MemoryRegion", "MrSlice"]
 
 _mr_ids = itertools.count(1)
 
@@ -43,6 +51,25 @@ class MemoryRegion:
     def n_pages(self) -> int:
         return -(-self.size // self.page_size)
 
+    # -- slicing ------------------------------------------------------------
+    def slice(self, offset: int, length: int) -> "MrSlice":
+        """A lightweight ``(mr, offset, length)`` view (bounds-checked)."""
+        return MrSlice(self, offset, length)
+
+    def __getitem__(self, key: slice) -> "MrSlice":
+        """``mr[a:b]`` == ``mr.slice(a, b - a)``; step is not supported."""
+        if not isinstance(key, slice):
+            raise TypeError(f"MemoryRegion indices must be slices, not "
+                            f"{type(key).__name__}")
+        if key.step not in (None, 1):
+            raise ValueError("MemoryRegion slices must be contiguous (step 1)")
+        start = 0 if key.start is None else key.start
+        stop = self.size if key.stop is None else key.stop
+        if start < 0 or stop < 0:
+            raise ValueError(
+                f"negative indices are not supported: [{key.start}:{key.stop}]")
+        return MrSlice(self, start, stop - start)
+
     def page_keys(self, offset: int, length: int) -> list:
         """Translation-cache keys for an access into this region."""
         return pages_of(self.mr_id, offset, length, self.page_size)
@@ -65,3 +92,40 @@ class MemoryRegion:
             f"<MR id={self.mr_id} m{self.machine_id}/s{self.socket} "
             f"{self.size}B>"
         )
+
+
+@dataclass(frozen=True)
+class MrSlice:
+    """A byte range ``[offset, offset + length)`` of a registered region.
+
+    Purely descriptive — holds no data and costs nothing to create; the
+    verbs layer unpacks it back into ``(mr, offset, length)`` when
+    building SGEs.
+    """
+
+    mr: MemoryRegion
+    offset: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if self.length < 0:
+            raise ValueError(f"negative slice length: {self.length}")
+        if self.offset < 0 or self.offset + self.length > self.mr.size:
+            raise ValueError(
+                f"slice [{self.offset}:{self.offset + self.length}) out of "
+                f"bounds for {self.mr.size}-byte region {self.mr.mr_id}")
+
+    def slice(self, offset: int, length: int) -> "MrSlice":
+        """A sub-slice, with ``offset`` relative to this slice's start."""
+        if offset < 0 or offset + length > self.length:
+            raise ValueError(
+                f"sub-slice [{offset}:{offset + length}) out of bounds for "
+                f"{self.length}-byte slice")
+        return MrSlice(self.mr, self.offset + offset, length)
+
+    def __len__(self) -> int:
+        return self.length
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<MrSlice mr={self.mr.mr_id} "
+                f"[{self.offset}:{self.offset + self.length})>")

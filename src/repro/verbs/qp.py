@@ -18,10 +18,22 @@ CPU-side costs (WQE prep, doorbell MMIO, CQE polling) are charged to the
 *calling thread* by :class:`repro.verbs.verbs.Worker`, not here — hardware
 and software costs are strictly separated, which is what lets the three
 vector-IO strategies differ.
+
+Reliability (RC transport): each transmission attempt samples the loss
+state of both endpoint ports (see :mod:`repro.hw.faults`).  A lost
+request/ACK costs the requester its execution-unit occupancy plus the
+backed-off transport timeout, then retransmits; ``retry_cnt`` losses in a
+row complete the WR with ``RETRY_EXC_ERR`` and move the QP to
+:attr:`QPState.ERR`, flushing everything else on the send queue with
+``WR_FLUSH_ERR`` (in posting order).  Service resumes only through
+``RdmaContext.reconnect_qp`` (RESET -> RTS, optionally on other ports).
+With no loss faults injected the retry layer adds no events, rng draws,
+or timeouts — sunny-path schedules are bit-identical to a loss-free build.
 """
 
 from __future__ import annotations
 
+import enum
 import itertools
 from typing import Generator, Optional
 
@@ -31,7 +43,20 @@ from repro.sim import Event, Simulator, Store
 from repro.verbs.cq import CompletionQueue
 from repro.verbs.types import Completion, CompletionStatus, Opcode, WorkRequest
 
-__all__ = ["QueuePair"]
+__all__ = ["QPState", "QueuePair"]
+
+
+class QPState(enum.Enum):
+    """RC queue-pair states (the modeled subset of the ibverbs machine).
+
+    Fresh QPs are born RTS (the INIT/RTR handshake is collapsed into
+    ``RdmaContext.create_qp``).  A fatal transport error moves RTS -> ERR;
+    recovery is ERR -> RESET -> RTS via ``RdmaContext.reconnect_qp``.
+    """
+
+    RESET = "reset"
+    RTS = "rts"
+    ERR = "error"
 
 _qp_ids = itertools.count(1)
 
@@ -89,6 +114,13 @@ class QueuePair:
         #: True once torn down (ConnectionManager eviction); posting to a
         #: destroyed QP is a hard error.
         self.destroyed = False
+        #: Transport state (see :class:`QPState`).
+        self.state = QPState.RTS
+        # Reliability counters (cheap ints; cross-checked by benches/tests).
+        self.retransmissions = 0
+        self.fatal_errors = 0
+        self.flushed_wrs = 0
+        self.reconnects = 0
 
     @property
     def outstanding(self) -> int:
@@ -108,11 +140,68 @@ class QueuePair:
     def params(self):
         return self.local_machine.params
 
+    # ------------------------------------------------------- state machine
+    def _require_postable(self) -> None:
+        if self.state is QPState.RESET:
+            raise RuntimeError(
+                f"QP {self.qp_id} is in RESET (reconnect in progress); "
+                "wait for the reconnect event before posting")
+
+    def _enter_error(self) -> None:
+        """Fatal transport error: RTS -> ERR.  In-flight WRs observe the
+        state at their next pipeline checkpoint and flush in order."""
+        if self.state is QPState.RTS:
+            self.state = QPState.ERR
+            self.fatal_errors += 1
+
+    def _flush_completion(self, wr: WorkRequest) -> Completion:
+        self.flushed_wrs += 1
+        return Completion(wr_id=wr.wr_id, opcode=wr.opcode,
+                          status=CompletionStatus.WR_FLUSH_ERR,
+                          timestamp_ns=self.sim.now, byte_len=0)
+
+    def _flush_post(self, wr: WorkRequest) -> Event:
+        """ibverbs semantics: a WR posted to an ERR-state QP never reaches
+        the hardware — it completes immediately with WR_FLUSH_ERR."""
+        self.posted += 1
+        self.completed += 1
+        comp = self._flush_completion(wr)
+        if wr.signaled:
+            self.cq.push(comp)
+        done = Event(self.sim)
+        done.succeed(comp)
+        return done
+
+    def reset(self) -> None:
+        """ERR -> RESET (the first half of error recovery)."""
+        if self.state is not QPState.ERR:
+            raise RuntimeError(
+                f"QP {self.qp_id}: reset() only applies to an ERR-state QP "
+                f"(state={self.state.value})")
+        if self.outstanding:
+            raise RuntimeError(
+                f"QP {self.qp_id}: {self.outstanding} WRs still flushing; "
+                "reap their completions before reset()")
+        self.state = QPState.RESET
+        self._last_completion = None
+
+    def to_rts(self) -> None:
+        """RESET -> RTS (service restored)."""
+        if self.state is not QPState.RESET:
+            raise RuntimeError(
+                f"QP {self.qp_id}: to_rts() requires RESET "
+                f"(state={self.state.value})")
+        self.state = QPState.RTS
+        self.reconnects += 1
+
     # ------------------------------------------------------------------ API
     def post_send(self, wr: WorkRequest) -> Event:
         """Hand one WR to the hardware; returns its completion event."""
         wr.validate()
+        self._require_postable()
         self._check_sq_room(1)
+        if self.state is QPState.ERR:
+            return self._flush_post(wr)
         done = Event(self.sim)
         prev, self._last_completion = self._last_completion, done
         self.posted += 1
@@ -127,7 +216,10 @@ class QueuePair:
             raise ValueError("empty doorbell batch")
         for wr in wrs:
             wr.validate()
+        self._require_postable()
         self._check_sq_room(len(wrs))
+        if self.state is QPState.ERR:
+            return [self._flush_post(wr) for wr in wrs]
         self.posted += len(wrs)
         events = [Event(self.sim) for _ in wrs]
         prev, self._last_completion = self._last_completion, events[-1]
@@ -198,17 +290,97 @@ class QueuePair:
             Opcode.FAA: p.exec_write_ns,
         }[wr.opcode]
         wire_payload = outbound if outbound else 16  # request header only
-        if outbound and not inline:
-            buf_socket = wr.sgl[0].mr.socket if wr.sgl else lport.socket
-            fetch = self.sim.process(
-                lport.pcie.dma(outbound, buf_socket, segments=wr.n_sge))
-            tx = self.sim.process(
-                lport.exec_tx(exec_ns, wire_payload, wr.n_sge, extra))
-            yield self.sim.all_of([fetch, tx])
+        value = None
+        status = CompletionStatus.SUCCESS
+        losses = 0       # attempts that vanished (request or its ACK)
+        retries_done = 0  # retransmissions actually performed
+        while True:
+            if self.state is not QPState.RTS:
+                # An earlier WR killed the QP while this one waited on its
+                # transport timer: flush without re-touching the hardware.
+                status = CompletionStatus.WR_FLUSH_ERR
+                break
+            if outbound and not inline:
+                buf_socket = wr.sgl[0].mr.socket if wr.sgl else lport.socket
+                fetch = self.sim.process(
+                    lport.pcie.dma(outbound, buf_socket, segments=wr.n_sge))
+                tx = self.sim.process(
+                    lport.exec_tx(exec_ns, wire_payload, wr.n_sge, extra))
+                yield self.sim.all_of([fetch, tx])
+            else:
+                yield from lport.exec_tx(exec_ns, wire_payload, wr.n_sge, extra)
+            if not (lport.packet_lost() or rport.packet_lost()):
+                # Cut-through folds the payload fetch into this window.
+                stamp("exec")
+                break
+            # Lost attempt: the requester only learns from silence — hold
+            # for the (exponentially backed-off) transport ACK timeout,
+            # then either retransmit or declare the retry budget spent.
+            losses += 1
+            yield self.sim.timeout(self._retrans_wait_ns(losses))
+            stamp("retrans")
+            if self.state is not QPState.RTS:
+                # An earlier WR declared the QP dead while this one sat on
+                # its transport timer: it flushes rather than burning (and
+                # double-reporting) its own retry budget.
+                status = CompletionStatus.WR_FLUSH_ERR
+                break
+            if losses > p.retry_cnt:
+                status = CompletionStatus.RETRY_EXC_ERR
+                self._enter_error()
+                break
+            retries_done += 1
+            self.retransmissions += 1
+
+        if status is CompletionStatus.SUCCESS:
+            value = yield from self._responder_phase(wr, stamp)
+        if record is not None:
+            record.retries = retries_done
+
+        if wr.signaled:
+            yield self.sim.timeout(p.cqe_dma_ns)
+        # RC in-order completion: never overtake an earlier WR on this QP.
+        if prev is not None and not prev.processed:
+            yield prev
+        if self.state is QPState.ERR and status is CompletionStatus.SUCCESS:
+            # The QP died while this (already executed) WR awaited in-order
+            # delivery: RC reports it flushed — its data may have landed,
+            # the same ambiguity a real flushed completion carries.
+            status = CompletionStatus.WR_FLUSH_ERR
+        stamp("delivery")
+        if record is not None:
+            tracer.commit(record, self.sim.now)
+        self.completed += 1
+        if status is CompletionStatus.WR_FLUSH_ERR:
+            self.flushed_wrs += 1
+        if status is CompletionStatus.SUCCESS:
+            byte_len = wr.total_length if not wr.opcode.is_atomic else 8
         else:
-            yield from lport.exec_tx(exec_ns, wire_payload, wr.n_sge, extra)
-        # Cut-through folds the payload fetch into this window.
-        stamp("exec")
+            value = None
+            byte_len = 0
+        completion = Completion(
+            wr_id=wr.wr_id, opcode=wr.opcode, status=status,
+            timestamp_ns=self.sim.now, value=value,
+            byte_len=byte_len, retries=retries_done)
+        if wr.signaled:
+            self.cq.push(completion)
+        done.succeed(completion)
+
+    def _retrans_wait_ns(self, losses: int) -> float:
+        """Transport timer for the ``losses``-th consecutive silence:
+        truncated exponential backoff off ``retrans_timeout_ns``."""
+        p = self.params
+        return min(p.retrans_timeout_ns * p.retrans_backoff ** (losses - 1),
+                   p.retrans_timeout_cap_ns)
+
+    def _responder_phase(self, wr: WorkRequest, stamp) -> Generator:
+        """Stages 4-7 of a delivered request: fabric, responder execution,
+        ACK/response, and local delivery.  Runs once, after the (possibly
+        retransmitted) request finally got through; returns the atomic
+        result value (None for non-atomics)."""
+        p = self.params
+        lport, rport = self.local_port, self.remote_port
+        lrnic, rrnic = self.local_machine.rnic, self.remote_machine.rnic
 
         # 4. Fabric.
         yield self.sim.timeout(lrnic.switch.traverse_ns())
@@ -291,7 +463,7 @@ class QueuePair:
         yield self.sim.timeout(lrnic.switch.traverse_ns())
         stamp("response_net")
 
-        # 7. Local delivery: READ data scattered into local buffers; CQE DMA.
+        # 7. Local delivery: READ data scattered into local buffers.
         if wr.opcode is Opcode.READ:
             buf_socket = wr.sgl[0].mr.socket
             yield from lport.pcie.dma(
@@ -304,22 +476,7 @@ class QueuePair:
                 wr_id=wr.wr_id, opcode=Opcode.SEND, status=status,
                 timestamp_ns=self.sim.now, value=wr.payload,
                 byte_len=wr.payload_bytes))
-        if wr.signaled:
-            yield self.sim.timeout(p.cqe_dma_ns)
-        # RC in-order completion: never overtake an earlier WR on this QP.
-        if prev is not None and not prev.processed:
-            yield prev
-        stamp("delivery")
-        if record is not None:
-            tracer.commit(record, self.sim.now)
-        self.completed += 1
-        completion = Completion(
-            wr_id=wr.wr_id, opcode=wr.opcode, status=status,
-            timestamp_ns=self.sim.now, value=value,
-            byte_len=wr.total_length if not wr.opcode.is_atomic else 8)
-        if wr.signaled:
-            self.cq.push(completion)
-        done.succeed(completion)
+        return value
 
     # ---------------------------------------------------------- data plane
     def _apply_write(self, wr: WorkRequest) -> None:

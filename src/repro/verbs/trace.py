@@ -26,6 +26,7 @@ STAGES = [
     "wqe_fetch",      # RNIC DMA-reads the WQE (and doorbell batch lists)
     "payload_fetch",  # payload DMA over PCIe (0 for inline/inbound ops)
     "exec",           # requester execution unit (incl. translation, SGEs)
+    "retrans",        # lost attempts: wasted exec time + transport timeouts
     "network",        # outbound fabric traversal
     "responder",      # remote RNIC processing + host-memory DMA
     "response_net",   # ACK/response traversal back
@@ -47,6 +48,9 @@ class OpRecord:
     #: ``tenant`` tag additionally groups the export into per-tenant
     #: process tracks.
     tags: Optional[dict] = None
+    #: Retransmissions this WR needed (0 on the sunny path); the time they
+    #: cost is the "retrans" stage.
+    retries: int = 0
 
     @property
     def latency_ns(self) -> float:
@@ -158,6 +162,8 @@ class OpTracer:
                 pid = tenant_pids[tenant] = len(tenant_pids) + 2
             tid = tids.setdefault((pid, record.opcode), len(tids) + 1)
             args = {"bytes": record.nbytes}
+            if record.retries:
+                args["retries"] = record.retries
             if record.tags:
                 args.update(record.tags)
             cursor = record.start_ns

@@ -9,7 +9,8 @@ from typing import Any, Optional, TYPE_CHECKING
 if TYPE_CHECKING:  # pragma: no cover
     from repro.verbs.mr import MemoryRegion
 
-__all__ = ["Opcode", "CompletionStatus", "Sge", "WorkRequest", "Completion"]
+__all__ = ["Opcode", "CompletionStatus", "CompletionError", "Sge",
+           "WorkRequest", "Completion"]
 
 
 class Opcode(enum.Enum):
@@ -39,6 +40,13 @@ class CompletionStatus(enum.Enum):
     #: never reached the hardware, but still completes with this status —
     #: rejections are observable, never silent (see repro.tenancy).
     REJECTED = "rejected_by_service_plane"
+    #: Transport retry count exhausted: the WR was retransmitted
+    #: ``retry_cnt`` times without an ACK (packet loss, link down) and the
+    #: QP moved to the ERR state, as ``IBV_WC_RETRY_EXC_ERR``.
+    RETRY_EXC_ERR = "retry_exceeded"
+    #: The WR was flushed off the send queue because the QP entered the
+    #: ERR state before (or while) it executed, as ``IBV_WC_WR_FLUSH_ERR``.
+    WR_FLUSH_ERR = "wr_flushed"
 
 
 @dataclass(frozen=True)
@@ -138,7 +146,25 @@ class Completion:
     #: Old value for atomics; received object for SEND-side receives.
     value: Any = None
     byte_len: int = 0
+    #: Transport retransmissions this WR needed before completing (0 on
+    #: the sunny path; > 0 only under injected loss faults).
+    retries: int = 0
 
     @property
     def ok(self) -> bool:
         return self.status is CompletionStatus.SUCCESS
+
+
+class CompletionError(RuntimeError):
+    """A completion with a non-SUCCESS status, surfaced as an exception.
+
+    Raised by ``Worker.wait(..., raise_on_error=True)`` so application
+    code cannot silently treat an errored/flushed/rejected op as data.
+    The failed :class:`Completion` rides along as ``.completion``.
+    """
+
+    def __init__(self, completion: "Completion"):
+        super().__init__(
+            f"work request {completion.wr_id} ({completion.opcode.value}) "
+            f"completed with {completion.status.value}")
+        self.completion = completion

@@ -10,18 +10,33 @@ and hardware-heavy ones (SGL) trade off exactly as in Section III-A.
 
 from __future__ import annotations
 
-from typing import Any, Generator, Optional
+import warnings
+from typing import Any, Generator, Optional, Union
 
 from repro.hw.cluster import Cluster
 from repro.hw.dram import AccessPattern
 from repro.memory.allocator import RegionAllocator
 from repro.sim import Event, Simulator
 from repro.verbs.cq import CompletionQueue
-from repro.verbs.mr import MemoryRegion
+from repro.verbs.mr import MemoryRegion, MrSlice
 from repro.verbs.qp import QueuePair
-from repro.verbs.types import Completion, Opcode, Sge, WorkRequest
+from repro.verbs.types import (CompletionError, Completion, Opcode, Sge,
+                               WorkRequest)
 
 __all__ = ["RdmaContext", "Worker"]
+
+#: What read/write accept for ``src=``/``dst=``: a slice, or a bare
+#: region meaning "all of it".
+Sliceable = Union[MemoryRegion, MrSlice]
+
+
+def _as_slice(buf: Sliceable, role: str) -> MrSlice:
+    if isinstance(buf, MrSlice):
+        return buf
+    if isinstance(buf, MemoryRegion):
+        return MrSlice(buf, 0, buf.size)
+    raise TypeError(
+        f"{role} must be a MemoryRegion or MrSlice, not {type(buf).__name__}")
 
 
 class RdmaContext:
@@ -94,6 +109,35 @@ class RdmaContext:
         for rnic in (qp.local_machine.rnic, qp.remote_machine.rnic):
             rnic.qp_detached()
             rnic.qp_cache.invalidate(qp.qp_id)
+
+    def reconnect_qp(self, qp: QueuePair,
+                     local_port: Optional[int] = None,
+                     remote_port: Optional[int] = None) -> Event:
+        """Cycle an errored QP back into service: ERR → RESET → RTS.
+
+        Models the connection-manager round trip real stacks need to
+        re-arm a broken RC connection: the QP must already be drained (all
+        outstanding WRs flushed), its state is reset, optionally the
+        endpoints are re-bound to different ports (``local_port`` /
+        ``remote_port`` indices — dual-port failover around a dead link),
+        the cached QP contexts on both RNICs are invalidated, and after
+        ``params.qp_reconnect_ns`` the QP transitions to RTS.
+
+        Returns the event that fires once the QP is postable again::
+
+            yield ctx.reconnect_qp(qp, local_port=1)
+            # qp.state is QPState.RTS here
+        """
+        qp.reset()
+        if local_port is not None:
+            qp.local_port = qp.local_machine.port(local_port)
+        if remote_port is not None:
+            qp.remote_port = qp.remote_machine.port(remote_port)
+        for rnic in (qp.local_machine.rnic, qp.remote_machine.rnic):
+            rnic.qp_cache.invalidate(qp.qp_id)
+        ev = self.sim.timeout(self.params.qp_reconnect_ns)
+        ev.add_callback(lambda _e: qp.to_rts())
+        return ev
 
 
 class Worker:
@@ -187,17 +231,27 @@ class Worker:
             return plane.submit_batch(qp, wrs)
         return qp.post_send_batch(wrs)
 
-    def wait(self, completion_event: Event) -> Generator:
-        """Block on a completion, then pay the CQE poll cost."""
+    def wait(self, completion_event: Event,
+             raise_on_error: bool = False) -> Generator:
+        """Block on a completion, then pay the CQE poll cost.
+
+        With ``raise_on_error`` an unsuccessful completion (retry
+        exhaustion, flush, rejection) raises :class:`CompletionError`
+        instead of returning — for callers with no retry logic of their
+        own, so transport failures are never silently ignored.
+        """
         completion: Completion = yield completion_event
         yield from self.compute(self.params.cpu_poll_ns)
         self.ops += 1
+        if raise_on_error and not completion.ok:
+            raise CompletionError(completion)
         return completion
 
-    def execute(self, qp: QueuePair, wr: WorkRequest) -> Generator:
+    def execute(self, qp: QueuePair, wr: WorkRequest,
+                raise_on_error: bool = False) -> Generator:
         """Synchronous post + wait."""
         ev = yield from self.post(qp, wr)
-        return (yield from self.wait(ev))
+        return (yield from self.wait(ev, raise_on_error=raise_on_error))
 
     def _check_affinity(self, qp: QueuePair) -> None:
         if qp.local_machine is not self.machine:
@@ -207,27 +261,73 @@ class Worker:
             )
 
     # -- one-sided convenience wrappers ---------------------------------------
-    def write(self, qp: QueuePair, local_mr: MemoryRegion, local_offset: int,
-              remote_mr: MemoryRegion, remote_offset: int, length: int,
+    def _resolve_transfer(self, opname: str, legacy: tuple,
+                          src: Optional[Sliceable], dst: Optional[Sliceable]
+                          ) -> tuple[MrSlice, MrSlice]:
+        """Normalize the two call forms to ``(local, remote)`` slices.
+
+        Slice form: ``src=``/``dst=`` name the two byte ranges by role
+        (data flows src → dst).  Legacy form: five positionals
+        ``(local_mr, local_offset, remote_mr, remote_offset, length)`` —
+        still honoured, but warns.
+        """
+        if legacy:
+            if src is not None or dst is not None:
+                raise TypeError(
+                    f"Worker.{opname}: mixing positional mr/offset/length "
+                    "arguments with src=/dst= is not allowed")
+            if len(legacy) != 5:
+                raise TypeError(
+                    f"Worker.{opname} legacy form takes exactly (local_mr, "
+                    f"local_offset, remote_mr, remote_offset, length); got "
+                    f"{len(legacy)} positional arguments")
+            warnings.warn(
+                f"positional Worker.{opname}(qp, mr, offset, mr, offset, "
+                f"length) is deprecated; use {opname}(qp, src=mr[a:b], "
+                "dst=mr[c:d])", DeprecationWarning, stacklevel=3)
+            local_mr, local_off, remote_mr, remote_off, length = legacy
+            return (MrSlice(local_mr, local_off, length),
+                    MrSlice(remote_mr, remote_off, length))
+        if src is None or dst is None:
+            raise TypeError(f"Worker.{opname} requires both src= and dst=")
+        s = _as_slice(src, "src")
+        d = _as_slice(dst, "dst")
+        if s.length != d.length:
+            raise ValueError(
+                f"Worker.{opname}: src is {s.length} bytes but dst is "
+                f"{d.length}; slice both sides to the same length")
+        # WRITE pushes local → remote; READ pulls remote → local.
+        return (s, d) if opname == "write" else (d, s)
+
+    def write(self, qp: QueuePair, *legacy,
+              src: Optional[Sliceable] = None,
+              dst: Optional[Sliceable] = None,
               move_data: bool = True, signaled: bool = True,
-              wr_id: int = 0) -> Generator:
+              wr_id: int = 0, raise_on_error: bool = False) -> Generator:
+        """RDMA WRITE: ``src`` (local slice) → ``dst`` (remote slice)."""
+        local, remote = self._resolve_transfer("write", legacy, src, dst)
         wr = WorkRequest(
             Opcode.WRITE, wr_id=wr_id,
-            sgl=[Sge(local_mr, local_offset, length)],
-            remote_mr=remote_mr, remote_offset=remote_offset,
+            sgl=[Sge(local.mr, local.offset, local.length)],
+            remote_mr=remote.mr, remote_offset=remote.offset,
             move_data=move_data, signaled=signaled)
-        return (yield from self.execute(qp, wr))
+        return (yield from self.execute(qp, wr,
+                                        raise_on_error=raise_on_error))
 
-    def read(self, qp: QueuePair, local_mr: MemoryRegion, local_offset: int,
-             remote_mr: MemoryRegion, remote_offset: int, length: int,
+    def read(self, qp: QueuePair, *legacy,
+             src: Optional[Sliceable] = None,
+             dst: Optional[Sliceable] = None,
              move_data: bool = True, signaled: bool = True,
-             wr_id: int = 0) -> Generator:
+             wr_id: int = 0, raise_on_error: bool = False) -> Generator:
+        """RDMA READ: ``src`` (remote slice) → ``dst`` (local slice)."""
+        local, remote = self._resolve_transfer("read", legacy, src, dst)
         wr = WorkRequest(
             Opcode.READ, wr_id=wr_id,
-            sgl=[Sge(local_mr, local_offset, length)],
-            remote_mr=remote_mr, remote_offset=remote_offset,
+            sgl=[Sge(local.mr, local.offset, local.length)],
+            remote_mr=remote.mr, remote_offset=remote.offset,
             move_data=move_data, signaled=signaled)
-        return (yield from self.execute(qp, wr))
+        return (yield from self.execute(qp, wr,
+                                        raise_on_error=raise_on_error))
 
     def cas(self, qp: QueuePair, remote_mr: MemoryRegion, remote_offset: int,
             compare: int, swap: int, wr_id: int = 0) -> Generator:
@@ -246,19 +346,32 @@ class Worker:
         return (yield from self.execute(qp, wr))
 
     def send(self, qp: QueuePair, payload: Any, payload_bytes: int,
-             wr_id: int = 0) -> Generator:
-        """Two-sided SEND (channel semantics), waited to completion."""
-        wr = WorkRequest(Opcode.SEND, wr_id=wr_id, payload=payload,
-                         payload_bytes=payload_bytes)
-        return (yield from self.execute(qp, wr))
+             wr_id: int = 0, *, wait: bool = True,
+             raise_on_error: bool = False) -> Generator:
+        """Two-sided SEND (channel semantics).
 
-    def send_async(self, qp: QueuePair, payload: Any, payload_bytes: int,
-                   wr_id: int = 0) -> Generator:
-        """Post a SEND without waiting for its completion (how servers keep
-        responses off their critical path); returns the completion event."""
+        ``wait=True`` blocks to completion and returns the
+        :class:`Completion`.  ``wait=False`` posts unsignaled and returns
+        the completion event instead — how servers keep responses off
+        their critical path.
+        """
+        if wait:
+            wr = WorkRequest(Opcode.SEND, wr_id=wr_id, payload=payload,
+                             payload_bytes=payload_bytes)
+            return (yield from self.execute(qp, wr,
+                                            raise_on_error=raise_on_error))
         wr = WorkRequest(Opcode.SEND, wr_id=wr_id, payload=payload,
                          payload_bytes=payload_bytes, signaled=False)
         return (yield from self.post(qp, wr))
+
+    def send_async(self, qp: QueuePair, payload: Any, payload_bytes: int,
+                   wr_id: int = 0) -> Generator:
+        """Deprecated alias for :meth:`send` with ``wait=False``."""
+        warnings.warn(
+            "Worker.send_async is deprecated; use Worker.send(..., "
+            "wait=False)", DeprecationWarning, stacklevel=2)
+        return (yield from self.send(qp, payload, payload_bytes,
+                                     wr_id=wr_id, wait=False))
 
     def recv(self, qp: QueuePair) -> Generator:
         """Block until an inbound SEND arrives; pays the poll cost."""

@@ -33,13 +33,13 @@ def _latency_of(opcode_gen_factory, n=20):
 
 
 def test_small_write_latency_1_16_us():
-    lat = _latency_of(lambda w, qp, l, r: w.write(qp, l, 0, r, 0, 32,
+    lat = _latency_of(lambda w, qp, l, r: w.write(qp, src=l[0:32], dst=r[0:32],
                                                   move_data=False))
     assert lat == pytest.approx(1160, rel=0.15)
 
 
 def test_small_read_latency_2_0_us():
-    lat = _latency_of(lambda w, qp, l, r: w.read(qp, l, 0, r, 0, 32,
+    lat = _latency_of(lambda w, qp, l, r: w.read(qp, src=r[0:32], dst=l[0:32],
                                                  move_data=False))
     assert lat == pytest.approx(2000, rel=0.15)
 
@@ -51,7 +51,7 @@ def test_atomic_latency_between_read_and_2x_write():
 
 def test_8kb_write_latency_rises_to_5ish_us():
     """Fig 1: latency climbs steeply past 2 KB; ~5-6 us at 8 KB."""
-    lat = _latency_of(lambda w, qp, l, r: w.write(qp, l, 0, r, 0, 8192,
+    lat = _latency_of(lambda w, qp, l, r: w.write(qp, src=l[0:8192], dst=r[0:8192],
                                                   move_data=False))
     assert 3800 < lat < 6500
 

@@ -124,7 +124,7 @@ def test_rpc_latency_exceeds_one_sided_write():
         yield from ch.call(w, "ping")
         t["rpc"] = sim.now - t0
         t0 = sim.now
-        yield from w.write(qp, lmr, 0, rmr, 0, 32, move_data=False)
+        yield from w.write(qp, src=lmr[0:32], dst=rmr[0:32], move_data=False)
         t["write"] = sim.now - t0
 
     sim.run(until=sim.process(client()))

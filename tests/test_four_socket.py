@@ -83,9 +83,9 @@ def test_write_latency_grows_with_hop_distance(params4):
 
         def client():
             for _ in range(3):  # warm translations
-                yield from w.write(qp, lmr, 0, rmr, 0, 512, move_data=False)
+                yield from w.write(qp, src=lmr[0:512], dst=rmr[0:512], move_data=False)
             t0 = sim.now
-            yield from w.write(qp, lmr, 0, rmr, 0, 512, move_data=False)
+            yield from w.write(qp, src=lmr[0:512], dst=rmr[0:512], move_data=False)
             lat[socket] = sim.now - t0
 
         sim.run(until=sim.process(client()))

@@ -22,9 +22,9 @@ def test_slow_port_stretches_occupancy():
     def measure(tag):
         # warm the translation caches so only the fault moves the number
         for _ in range(3):
-            yield from w.write(qp, lmr, 0, rmr, 0, 32, move_data=False)
+            yield from w.write(qp, src=lmr[0:32], dst=rmr[0:32], move_data=False)
         t0 = sim.now
-        yield from w.write(qp, lmr, 0, rmr, 0, 32, move_data=False)
+        yield from w.write(qp, src=lmr[0:32], dst=rmr[0:32], move_data=False)
         lat[tag] = sim.now - t0
 
     sim.run(until=sim.process(measure("healthy")))
@@ -120,7 +120,7 @@ def test_jitter_varies_latency():
     def client():
         for i in range(24):
             t0 = sim.now
-            yield from w.write(qp, lmr, 0, rmr, 0, 32, move_data=False)
+            yield from w.write(qp, src=lmr[0:32], dst=rmr[0:32], move_data=False)
             if i >= 4:  # skip translation warm-up
                 lats.append(sim.now - t0)
 

@@ -30,7 +30,7 @@ def _mr_sweep_latency(n_mrs: int, params=None) -> float:
             mr = mrs[i % n_mrs]
             off = ((i // n_mrs) * 4096) % mr.size
             t0 = sim.now
-            yield from w.write(qp, lmr, 0, mr, off, 32, move_data=False)
+            yield from w.write(qp, src=lmr[0:32], dst=mr[off:off + 32], move_data=False)
             if i >= 300:
                 lats.append(sim.now - t0)
 
@@ -63,8 +63,10 @@ def test_qp_thrash_degrades_many_client_throughput():
             qp = ctx.create_qp(m, 0, local_port=i % 2, remote_port=i % 2)
             lmr = ctx.register(m, 1 << 16, socket=i % 2)
             for k in range(40):
-                yield from w.write(qp, lmr, 0, server_mr, (i * 64) % 4096,
-                                   32, move_data=False)
+                off = (i * 64) % 4096
+                yield from w.write(qp, src=lmr[0:32],
+                                   dst=server_mr[off:off + 32],
+                                   move_data=False)
                 done[0] += 1
 
         procs = [sim.process(client(i)) for i in range(n_clients)]

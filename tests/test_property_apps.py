@@ -5,7 +5,7 @@ deliberately bounded in size — each example is a full cluster simulation.
 """
 
 import numpy as np
-from hypothesis import given, settings
+from hypothesis import example, given, settings
 from hypothesis import strategies as st
 
 from repro import build
@@ -49,6 +49,9 @@ def test_layout_total_function_and_disjoint_addresses(n_keys, hot_keys,
        st.integers(min_value=16, max_value=400),
        st.integers(min_value=0, max_value=2**31))
 @_few
+# Regression: a skewed 16-entry/16-executor partition used to overflow the
+# heuristically-sized inbound lanes (remote access past the MR end).
+@example(n_executors=16, entries=16, seed=7437847)
 def test_shuffle_conserves_entries(n_executors, entries, seed):
     """Entries sent == entries generated, for any executor count/stream."""
     sim, cluster, ctx = build(machines=8)

@@ -190,7 +190,7 @@ def saturate(sim, plane, ctx, tenant, machine, streams, stop):
         def stream(lmr=lmr, i=i):
             sess = plane.session(tenant, machine=machine, socket=i % 2)
             while not stop[0]:
-                yield from sess.write(0, lmr, 0, srv, 0, 64, move_data=False)
+                yield from sess.write(0, src=lmr[0:64], dst=srv[0:64], move_data=False)
 
         procs.append(sim.process(stream()))
     return procs
@@ -234,7 +234,7 @@ def test_token_bucket_caps_rate():
     def client():
         sess = plane.session("slow", machine=1)
         for _ in range(n):
-            yield from sess.write(0, lmr, 0, srv, 0, 64, move_data=False)
+            yield from sess.write(0, src=lmr[0:64], dst=srv[0:64], move_data=False)
 
     sim.run(until=sim.process(client()))
     # n ops at 1/2000ns: even with the first op free, the span is at least
@@ -256,7 +256,7 @@ def test_wfq_isolation_beats_fifo():
         def victim():
             sess = plane.session("victim", machine=1)
             for _ in range(60):
-                comp = yield from sess.write(0, vm, 0, srv, 0, 64,
+                comp = yield from sess.write(0, src=vm[0:64], dst=srv[0:64],
                                              move_data=False)
                 assert comp.ok
 
@@ -393,7 +393,7 @@ def test_metrics_goodput_spans_active_window():
     def client():
         sess = plane.session("a", machine=1)
         for _ in range(20):
-            yield from sess.write(0, lmr, 0, srv, 0, 512, move_data=False)
+            yield from sess.write(0, src=lmr[0:512], dst=srv[0:512], move_data=False)
 
     sim.run(until=sim.process(client()))
     slo = plane.metrics["a"]
@@ -412,7 +412,7 @@ def test_untenanted_qps_bypass_the_plane():
     w = Worker(ctx, 1, 0)
 
     def client():
-        return (yield from w.write(qp, lmr, 0, rmr, 0, 64))
+        return (yield from w.write(qp, src=lmr[0:64], dst=rmr[0:64]))
 
     comp = sim.run(until=sim.process(client()))
     assert comp.ok
@@ -430,7 +430,7 @@ def test_adopted_qp_is_mediated():
     w = Worker(ctx, 1, 0)
 
     def client():
-        return (yield from w.write(qp, lmr, 0, rmr, 0, 64))
+        return (yield from w.write(qp, src=lmr[0:64], dst=rmr[0:64]))
 
     comp = sim.run(until=sim.process(client()))
     assert comp.ok

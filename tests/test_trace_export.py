@@ -17,8 +17,8 @@ def _traced_run():
     w = Worker(ctx, 0)
 
     def client():
-        yield from w.write(qp, lmr, 0, rmr, 0, 64, move_data=False)
-        yield from w.read(qp, lmr, 0, rmr, 0, 64, move_data=False)
+        yield from w.write(qp, src=lmr[0:64], dst=rmr[0:64], move_data=False)
+        yield from w.read(qp, src=rmr[0:64], dst=lmr[0:64], move_data=False)
 
     sim.run(until=sim.process(client()))
     return tracer

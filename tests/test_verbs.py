@@ -26,7 +26,7 @@ def test_write_moves_bytes(rig):
     lmr.write(0, b"payload-bytes!")
 
     def client():
-        comp = yield from w.write(qp, lmr, 0, rmr, 512, 14)
+        comp = yield from w.write(qp, src=lmr[0:14], dst=rmr[512:526])
         return comp
 
     comp = run(sim, client())
@@ -39,7 +39,7 @@ def test_read_moves_bytes_back(rig):
     rmr.write(100, b"remote-data")
 
     def client():
-        return (yield from w.read(qp, lmr, 64, rmr, 100, 11))
+        return (yield from w.read(qp, src=rmr[100:111], dst=lmr[64:75]))
 
     comp = run(sim, client())
     assert comp.ok
@@ -51,7 +51,7 @@ def test_write_without_move_data_leaves_memory(rig):
     lmr.write(0, b"zz")
 
     def client():
-        return (yield from w.write(qp, lmr, 0, rmr, 0, 2, move_data=False))
+        return (yield from w.write(qp, src=lmr[0:2], dst=rmr[0:2], move_data=False))
 
     comp = run(sim, client())
     assert comp.ok
@@ -182,7 +182,7 @@ def test_unsignaled_write_produces_no_cqe(rig):
     sim, ctx, lmr, rmr, qp, w = rig
 
     def client():
-        comp = yield from w.write(qp, lmr, 0, rmr, 0, 8, signaled=False)
+        comp = yield from w.write(qp, src=lmr[0:8], dst=rmr[0:8], signaled=False)
         return comp
 
     comp = run(sim, client())
@@ -194,7 +194,7 @@ def test_signaled_write_pushes_cqe(rig):
     sim, ctx, lmr, rmr, qp, w = rig
 
     def client():
-        yield from w.write(qp, lmr, 0, rmr, 0, 8)
+        yield from w.write(qp, src=lmr[0:8], dst=rmr[0:8])
 
     run(sim, client())
     assert qp.cq.produced == 1
@@ -228,7 +228,7 @@ def test_worker_affinity_enforced(rig):
     foreign = Worker(ctx, machine=1, socket=0)
 
     def client():
-        yield from foreign.write(qp, lmr, 0, rmr, 0, 8)
+        yield from foreign.write(qp, src=lmr[0:8], dst=rmr[0:8])
 
     with pytest.raises(ValueError):
         run(sim, client())

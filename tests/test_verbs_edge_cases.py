@@ -100,7 +100,7 @@ def test_cq_blocking_wait(rig):
 
     def client():
         yield sim.timeout(500)
-        yield from w.write(qp, lmr, 0, rmr, 0, 8, wr_id=77, move_data=False)
+        yield from w.write(qp, src=lmr[0:8], dst=rmr[0:8], wr_id=77, move_data=False)
 
     sim.process(reaper())
     sim.run(until=sim.process(client()))
@@ -189,7 +189,7 @@ def test_read_wire_occupancy_on_responder(rig):
     finish = []
 
     def client(worker, queue, buf):
-        yield from worker.read(queue, buf, 0, rmr, 0, 8192, move_data=False)
+        yield from worker.read(queue, src=rmr[0:8192], dst=buf[0:8192], move_data=False)
         finish.append(sim.now)
 
     sim.process(client(w, qp, lmr))

@@ -24,8 +24,8 @@ def test_stages_sum_to_latency(rig):
 
     def client():
         for _ in range(5):
-            yield from w.write(qp, lmr, 0, rmr, 0, 32, move_data=False)
-            yield from w.read(qp, lmr, 0, rmr, 0, 32, move_data=False)
+            yield from w.write(qp, src=lmr[0:32], dst=rmr[0:32], move_data=False)
+            yield from w.read(qp, src=rmr[0:32], dst=lmr[0:32], move_data=False)
             yield from w.faa(qp, rmr, 64, add=1)
 
     sim.run(until=sim.process(client()))
@@ -42,7 +42,7 @@ def test_decomposition_matches_paper_structure(rig):
 
     def client():
         for _ in range(10):
-            yield from w.write(qp, lmr, 0, rmr, 0, 32, move_data=False)
+            yield from w.write(qp, src=lmr[0:32], dst=rmr[0:32], move_data=False)
 
     sim.run(until=sim.process(client()))
     b = tracer.breakdown("write")
@@ -62,8 +62,8 @@ def test_read_has_larger_responder_share(rig):
 
     def client():
         for _ in range(5):
-            yield from w.write(qp, lmr, 0, rmr, 0, 32, move_data=False)
-            yield from w.read(qp, lmr, 0, rmr, 0, 32, move_data=False)
+            yield from w.write(qp, src=lmr[0:32], dst=rmr[0:32], move_data=False)
+            yield from w.read(qp, src=rmr[0:32], dst=lmr[0:32], move_data=False)
 
     sim.run(until=sim.process(client()))
     assert (tracer.breakdown("read")["responder"]
@@ -81,7 +81,7 @@ def test_tracer_attach_covers_existing_qps():
     w = Worker(ctx, 0)
 
     def client():
-        yield from w.write(qp, lmr, 0, rmr, 0, 8, move_data=False)
+        yield from w.write(qp, src=lmr[0:8], dst=rmr[0:8], move_data=False)
 
     sim.run(until=sim.process(client()))
     assert tracer.ops("write") == 1
@@ -93,7 +93,7 @@ def test_tracer_record_cap_and_reset(rig):
 
     def client():
         for _ in range(6):
-            yield from w.write(qp, lmr, 0, rmr, 0, 8, move_data=False)
+            yield from w.write(qp, src=lmr[0:8], dst=rmr[0:8], move_data=False)
 
     sim.run(until=sim.process(client()))
     assert len(tracer.records) == 3
@@ -107,7 +107,7 @@ def test_breakdown_table_renders(rig):
     sim, ctx, tracer, lmr, rmr, qp, w = rig
 
     def client():
-        yield from w.write(qp, lmr, 0, rmr, 0, 8, move_data=False)
+        yield from w.write(qp, src=lmr[0:8], dst=rmr[0:8], move_data=False)
         yield from w.faa(qp, rmr, 0, add=1)
 
     sim.run(until=sim.process(client()))
@@ -135,7 +135,7 @@ def test_untraced_context_records_nothing():
     w = Worker(ctx, 0)
 
     def client():
-        yield from w.write(qp, lmr, 0, rmr, 0, 8, move_data=False)
+        yield from w.write(qp, src=lmr[0:8], dst=rmr[0:8], move_data=False)
 
     sim.run(until=sim.process(client()))
     assert qp.tracer is None

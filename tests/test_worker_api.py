@@ -89,7 +89,7 @@ def test_worker_default_names_and_ops_counter(rig):
 
     def client():
         for _ in range(3):
-            yield from w.write(qp, lmr, 0, rmr, 0, 8, move_data=False)
+            yield from w.write(qp, src=lmr[0:8], dst=rmr[0:8], move_data=False)
 
     run(sim, client())
     assert w.ops == 3
