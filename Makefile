@@ -2,7 +2,8 @@
 
 PY ?= python
 
-.PHONY: install test lint smoke chaos bench figures figures-full scorecard experiments clean
+.PHONY: install test lint smoke chaos bench figures figures-full scorecard experiments clean \
+	perf perf-quick perf-update
 
 install:
 	pip install -e .
@@ -19,9 +20,26 @@ lint:
 		|| { echo "ruff not installed; falling back to compileall"; \
 		     $(PY) -m compileall -q src tests benchmarks examples; }
 
-# Fast end-to-end sanity: build the model and run the quickstart example.
-smoke:
+# Fast end-to-end sanity: build the model, run the quickstart example,
+# and gate the simulator fast path (engine microbench + fig5) against the
+# committed perf baseline.
+smoke: perf-quick
 	PYTHONPATH=src $(PY) examples/quickstart.py
+
+# Fast-path performance gate (see docs/PERFORMANCE.md): times the engine
+# dispatch microbenchmark and the fig1/fig5/ext6/ext7 quick sweeps, then
+# fails on a >20% events/sec drop or ANY schedule-digest change vs the
+# committed BENCH_perf.json.
+perf:
+	PYTHONPATH=src $(PY) -m repro.bench.perf check
+
+perf-quick:
+	PYTHONPATH=src $(PY) -m repro.bench.perf check --quick
+
+# Refresh the committed baseline (new machine, or a deliberate model
+# change that moved schedules).
+perf-update:
+	PYTHONPATH=src $(PY) -m repro.bench.perf update
 
 # Fault-injection test subset: the reliability layer end-to-end (loss,
 # retransmission, QP error flushes, reconnect/failover) plus the

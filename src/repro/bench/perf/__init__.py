@@ -1,0 +1,49 @@
+"""Performance-regression harness for the simulator fast path.
+
+``repro.bench.regress`` guards *what* the model computes; this package
+guards *how fast* the engine computes it.  It times a fixed set of
+scenarios — a pure engine-dispatch microbenchmark plus the quick modes of
+representative figure sweeps (fig 1, fig 5, ext 6, ext 7) — and records,
+per scenario:
+
+* ``wall_s`` — host wall-clock seconds,
+* ``events`` — simulator events dispatched (``Simulator.total_events``
+  delta across the scenario, summed over every short-lived simulator the
+  sweep builds),
+* ``events_per_sec`` — the headline fast-path throughput number,
+* ``digest`` — a SHA-256 over the scenario's simulated *outputs* (figure
+  series, final clock).  The simulator is deterministic, so the digest is
+  machine-independent: any digest change means an engine or model change
+  altered schedules, which the determinism contract
+  (docs/PERFORMANCE.md) forbids for pure optimizations.
+
+Workflow::
+
+    make perf            # run all scenarios, gate against BENCH_perf.json
+    make perf-quick      # engine microbench + fig5 only (smoke-friendly)
+    make perf-update     # refresh the committed baseline on this machine
+
+The gate fails when a scenario's events/sec drops more than
+``DEFAULT_TOLERANCE`` (20%) below the committed baseline, or when any
+digest differs.  Wall-clock numbers are machine-dependent — refresh the
+baseline (``make perf-update``) when moving to different hardware; the
+digests must survive the move unchanged.
+"""
+
+from repro.bench.perf.harness import (
+    DEFAULT_TOLERANCE,
+    SCENARIOS,
+    check,
+    load_baseline,
+    main,
+    run_scenarios,
+)
+
+__all__ = [
+    "DEFAULT_TOLERANCE",
+    "SCENARIOS",
+    "check",
+    "load_baseline",
+    "main",
+    "run_scenarios",
+]

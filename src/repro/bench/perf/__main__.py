@@ -1,0 +1,7 @@
+"""``python -m repro.bench.perf`` — see the package docstring."""
+
+import sys
+
+from repro.bench.perf.harness import main
+
+sys.exit(main())

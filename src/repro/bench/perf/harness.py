@@ -1,0 +1,228 @@
+"""Scenario timing, schedule digests, and the regression gate.
+
+See the package docstring for the workflow; docs/PERFORMANCE.md for how
+the numbers should be read.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import hashlib
+import importlib
+import json
+import sys
+import time
+from typing import Callable, Optional
+
+from repro.sim import Simulator
+
+__all__ = [
+    "DEFAULT_TOLERANCE",
+    "SCENARIOS",
+    "check",
+    "load_baseline",
+    "main",
+    "run_scenarios",
+]
+
+#: Gate threshold: fail when events/sec drops by more than this fraction.
+DEFAULT_TOLERANCE = 0.20
+
+#: Default location of the committed baseline (repo root when invoked via
+#: the Makefile targets).
+DEFAULT_BASELINE = "BENCH_perf.json"
+
+
+# --------------------------------------------------------------- scenarios
+def _engine_dispatch(horizon_ns: float = 2_000_000.0) -> dict:
+    """Pure dispatch-loop microbenchmark: no cost model, no verbs.
+
+    A handful of processes doing bare-delay sleeps — the cheapest event
+    the engine knows — so the number isolates the per-event constant
+    factor of ``Simulator.run`` itself from model bytecode.
+    """
+    sim = Simulator()
+
+    def sleeper() -> object:
+        while True:
+            yield 10.0
+
+    for _ in range(8):
+        sim.process(sleeper())
+    sim.run(until=horizon_ns)
+    # The digest covers the simulated outcome, not the wall clock.
+    return {"events": sim.events_processed, "now": sim.now}
+
+
+def _figure(module_name: str) -> Callable[[], dict]:
+    def runner() -> dict:
+        module = importlib.import_module(module_name)
+        fig = module.run(quick=True)
+        return {
+            "name": fig.name,
+            "x": [str(x) for x in fig.x_values],
+            "series": {s.label: s.values for s in fig.series},
+        }
+    return runner
+
+
+#: Scenario name -> zero-arg callable returning a JSON-serializable
+#: outcome (digested for the schedule-identity gate).  Insertion order is
+#: execution order; "quick" mode keeps the starred subset.
+SCENARIOS: dict[str, Callable[[], dict]] = {
+    "engine_dispatch": _engine_dispatch,
+    "fig1": _figure("repro.bench.fig01_throttling"),
+    "fig5": _figure("repro.bench.fig05_threads"),
+    "ext6": _figure("repro.bench.ext6_multitenant"),
+    "ext7": _figure("repro.bench.ext7_fault_recovery"),
+}
+
+#: The smoke-friendly subset (`make perf-quick`).
+QUICK_SCENARIOS = ("engine_dispatch", "fig5")
+
+
+def _digest(outcome: dict) -> str:
+    """Machine-independent SHA-256 of a scenario outcome.
+
+    ``repr`` round-trips floats exactly, so two runs digest equal iff
+    every simulated number is bit-identical.
+    """
+    blob = json.dumps(outcome, sort_keys=True, default=repr)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def run_scenarios(names: Optional[list[str]] = None) -> dict:
+    """Time the named scenarios (default: all); returns a baseline dict."""
+    out: dict = {"format": 1, "scenarios": {}}
+    for name in names or list(SCENARIOS):
+        fn = SCENARIOS[name]
+        gc.collect()  # start each scenario from a clean allocator state
+        events_before = Simulator.total_events
+        t0 = time.perf_counter()
+        outcome = fn()
+        wall = time.perf_counter() - t0
+        events = Simulator.total_events - events_before
+        out["scenarios"][name] = {
+            "wall_s": round(wall, 4),
+            "events": events,
+            "events_per_sec": round(events / wall) if wall > 0 else 0,
+            "digest": _digest(outcome),
+        }
+    return out
+
+
+# -------------------------------------------------------------------- gate
+def load_baseline(path: str) -> dict:
+    with open(path) as fh:
+        data = json.load(fh)
+    if data.get("format") != 1:
+        raise ValueError(f"{path} is not a perf baseline")
+    return data
+
+
+def check(baseline: dict, current: dict,
+          tolerance: float = DEFAULT_TOLERANCE) -> list[str]:
+    """Compare a fresh run against the committed baseline.
+
+    Returns a list of human-readable failures (empty == gate passes):
+
+    * an events/sec drop beyond ``tolerance`` — the fast path regressed;
+    * a digest mismatch — the *schedule* changed, which no optimization
+      is allowed to do (model changes must refresh the baseline
+      deliberately via ``make perf-update``);
+    * a scenario missing from either side.
+    """
+    failures: list[str] = []
+    base = baseline["scenarios"]
+    cur = current["scenarios"]
+    for name in cur:
+        if name not in base:
+            failures.append(
+                f"{name}: not in baseline (run `make perf-update`)")
+            continue
+        b, c = base[name], cur[name]
+        if c["digest"] != b["digest"]:
+            failures.append(
+                f"{name}: schedule digest changed "
+                f"({b['digest'][:12]} -> {c['digest'][:12]}) — simulated "
+                "outputs moved; optimizations must be schedule-preserving")
+        floor = b["events_per_sec"] * (1.0 - tolerance)
+        if c["events_per_sec"] < floor:
+            drop = 1.0 - c["events_per_sec"] / b["events_per_sec"]
+            failures.append(
+                f"{name}: {c['events_per_sec']:,} events/s is {drop:.0%} "
+                f"below baseline {b['events_per_sec']:,} "
+                f"(tolerance {tolerance:.0%})")
+    return failures
+
+
+def _print_table(data: dict, baseline: Optional[dict] = None) -> None:
+    base = baseline["scenarios"] if baseline else {}
+    print(f"{'scenario':<16} {'wall_s':>8} {'events':>10} "
+          f"{'events/s':>12} {'vs base':>8}")
+    for name, row in data["scenarios"].items():
+        rel = ""
+        if name in base and base[name]["events_per_sec"]:
+            ratio = row["events_per_sec"] / base[name]["events_per_sec"]
+            rel = f"{ratio:.2f}x"
+        print(f"{name:<16} {row['wall_s']:>8.3f} {row['events']:>10,} "
+              f"{row['events_per_sec']:>12,} {rel:>8}")
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.perf",
+        description="fast-path performance harness (see docs/PERFORMANCE.md)")
+    sub = parser.add_subparsers(dest="cmd", required=True)
+    p_check = sub.add_parser("check", help="run scenarios and gate against "
+                                           "the committed baseline")
+    p_check.add_argument("--baseline", default=DEFAULT_BASELINE)
+    p_check.add_argument("--tolerance", type=float,
+                         default=DEFAULT_TOLERANCE)
+    p_check.add_argument("--quick", action="store_true",
+                         help=f"only {', '.join(QUICK_SCENARIOS)}")
+    p_update = sub.add_parser("update", help="run all scenarios and rewrite "
+                                             "the baseline")
+    p_update.add_argument("--baseline", default=DEFAULT_BASELINE)
+    p_run = sub.add_parser("run", help="run scenarios and print the table "
+                                       "without gating")
+    p_run.add_argument("--quick", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.cmd == "update":
+        data = run_scenarios()
+        with open(args.baseline, "w") as fh:
+            json.dump(data, fh, indent=1)
+            fh.write("\n")
+        _print_table(data)
+        print(f"baseline written to {args.baseline}")
+        return 0
+
+    names = list(QUICK_SCENARIOS) if args.quick else None
+    data = run_scenarios(names)
+    if args.cmd == "run":
+        _print_table(data)
+        return 0
+
+    try:
+        baseline = load_baseline(args.baseline)
+    except FileNotFoundError:
+        _print_table(data)
+        print(f"no baseline at {args.baseline}; run `make perf-update` "
+              "to create one")
+        return 1
+    _print_table(data, baseline)
+    failures = check(baseline, data, args.tolerance)
+    if failures:
+        print(f"\nPERF GATE FAILED ({len(failures)}):")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print("\nperf gate passed: schedules identical, throughput within "
+          f"{args.tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,4 +1,30 @@
-"""Shared measurement machinery for the bench targets."""
+"""Shared measurement machinery for the bench targets.
+
+Measurement conventions, so every figure is comparable:
+
+* **Fresh rig per data point.**  Each sweep point builds its own
+  simulator (:func:`fresh_rig` / ``repro.build``) rather than reusing
+  one, so points are independent and caches (translation, QP context)
+  start cold everywhere — the paper's per-configuration runs do the
+  same.  Consequence for timing: sweep cost is dominated by model
+  bytecode, not a shared warm engine; see docs/PERFORMANCE.md.
+* **Closed-loop clients.**  :class:`PipelinedClient` keeps ``depth``
+  WRs in flight on one QP and measures steady-state MOPS only after
+  ``warmup`` completions, so ramp-up (cold caches, empty pipelines)
+  never contaminates a quoted rate.
+* **Aggregate then report.**  :func:`measure_clients` drives all
+  clients in one simulation and sums their per-client MOPS — clients
+  contend for real shared resources (execution units, PCIe, wire), so
+  the sum is a contended aggregate, not n× a solo run.
+* **Timing-only WRs by default.**  :func:`write_wr` / :func:`read_wr`
+  set ``move_data=False``: byte movement is modelled in time but not
+  materialized, keeping micro-benchmarks allocation-free.  Tests that
+  verify data integrity build their own WRs with ``move_data=True``.
+
+Everything here is deterministic given the rig's seed: run order is
+fixed by the event heap's (time, priority, sequence) key, never by host
+scheduling.
+"""
 
 from __future__ import annotations
 

@@ -33,7 +33,7 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BatchEntry:
     """One small buffer to deliver: a slice of a local MR."""
 

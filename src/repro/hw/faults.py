@@ -45,6 +45,10 @@ class FaultInjector:
 
     def _afflict(self, port: RnicPort, kind: str,
                  duration_ns: Optional[float]) -> None:
+        # Cost-model caches are invalidated on every injection (and heal,
+        # see _heal) — see Rnic.invalidate_cost_caches for why this is a
+        # contract rather than a correctness requirement today.
+        port.rnic.invalidate_cost_caches()
         entry = self._afflicted.get(id(port))
         if entry is None:
             entry = (port, set())
@@ -127,6 +131,7 @@ class FaultInjector:
         entry = self._afflicted.get(id(port))
         if entry is None:
             return
+        port.rnic.invalidate_cost_caches()
         for kind in (entry[1] & kinds) if kinds is not None else set(entry[1]):
             if kind == "slow":
                 port.slowdown = 1.0

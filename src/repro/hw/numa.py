@@ -27,18 +27,33 @@ class NumaTopology:
 
     def __init__(self, params: HardwareParams):
         self.params = params
-        self.n_sockets = params.sockets_per_machine
-        if self.n_sockets < 1:
+        self.n_sockets = n = params.sockets_per_machine
+        if n < 1:
             raise ValueError("need at least one socket")
+        # Every pairwise cost below is a pure function of two socket ids
+        # and the (frozen) params, so precompute them as n x n tables —
+        # these sit on the per-WR hot path (translate/DMA/MMIO).  A new
+        # topology is built whenever params change (HardwareParams is
+        # immutable), so the tables can never go stale.
+        self._hops = tuple(
+            tuple(min(abs(a - b), n - abs(a - b)) for b in range(n))
+            for a in range(n)
+        )
+        self._cross = tuple(
+            tuple(h * params.qpi_hop_ns for h in row) for row in self._hops
+        )
+        self._mmio = tuple(
+            tuple(params.mmio_ns + c for c in row) for row in self._cross
+        )
+        #: Memoized dma_time results keyed (device, mem, nbytes, segments);
+        #: bounded so adversarial size sweeps cannot grow it unchecked.
+        self._dma_cache: dict = {}
 
     def hops(self, socket_a: int, socket_b: int) -> int:
         """QPI hops between two sockets (ring distance)."""
         self._check(socket_a)
         self._check(socket_b)
-        if socket_a == socket_b:
-            return 0
-        d = abs(socket_a - socket_b)
-        return min(d, self.n_sockets - d)
+        return self._hops[socket_a][socket_b]
 
     def _check(self, socket: int) -> None:
         if not 0 <= socket < self.n_sockets:
@@ -49,7 +64,9 @@ class NumaTopology:
     # -- penalties --------------------------------------------------------
     def cross_penalty(self, socket_a: int, socket_b: int) -> float:
         """Extra ns an MMIO/DMA transaction pays crossing from a to b."""
-        return self.hops(socket_a, socket_b) * self.params.qpi_hop_ns
+        self._check(socket_a)
+        self._check(socket_b)
+        return self._cross[socket_a][socket_b]
 
     def dram_latency(self, core_socket: int, mem_socket: int) -> float:
         """Load latency from a core to memory (Table II: 92 vs 162 ns)."""
@@ -74,13 +91,23 @@ class NumaTopology:
         (``cross_dma_bw_factor``) — large cross-socket DMAs run at roughly
         half rate, which is what the NUMA-aware designs of Section IV avoid.
         """
+        key = (device_socket, mem_socket, nbytes, segments)
+        cached = self._dma_cache.get(key)
+        if cached is not None:
+            return cached
         if self.hops(device_socket, mem_socket) == 0:
-            return self.params.pcie_time(nbytes, segments)
-        base = self.params.pcie_time(nbytes, segments)
-        stream = nbytes / self.params.pcie_bandwidth_Bns
-        slowdown = stream * (1.0 / self.params.cross_dma_bw_factor - 1.0)
-        return base + slowdown + self.cross_penalty(device_socket, mem_socket)
+            t = self.params.pcie_time(nbytes, segments)
+        else:
+            base = self.params.pcie_time(nbytes, segments)
+            stream = nbytes / self.params.pcie_bandwidth_Bns
+            slowdown = stream * (1.0 / self.params.cross_dma_bw_factor - 1.0)
+            t = base + slowdown + self.cross_penalty(device_socket, mem_socket)
+        if len(self._dma_cache) < 8192:
+            self._dma_cache[key] = t
+        return t
 
     def mmio_time(self, core_socket: int, device_socket: int) -> float:
         """Doorbell MMIO from a core to a device, ns."""
-        return self.params.mmio_ns + self.cross_penalty(core_socket, device_socket)
+        self._check(core_socket)
+        self._check(device_socket)
+        return self._mmio[core_socket][device_socket]

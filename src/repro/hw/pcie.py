@@ -35,6 +35,11 @@ class PcieLink:
         self._bus = Resource(sim, capacity=1, name=self.name)
         self.dma_bytes = 0
         self.dma_count = 0
+        # Per-link memoized transfer times keyed (mem_socket, nbytes,
+        # segments) — one dict probe on the per-WR hot path instead of two
+        # method calls into the topology.  Params/topology are immutable,
+        # so entries never go stale; bounded like the topology's own cache.
+        self._time_cache: dict = {}
 
     def dma_time(self, nbytes: int, mem_socket: int, segments: int = 1) -> float:
         """Pure transfer time of one DMA, without queueing."""
@@ -48,10 +53,16 @@ class PcieLink:
         """
         if nbytes < 0:
             raise ValueError(f"negative DMA size: {nbytes}")
-        duration = self.dma_time(nbytes, mem_socket, segments)
+        key = (mem_socket, nbytes, segments)
+        duration = self._time_cache.get(key)
+        if duration is None:
+            duration = self.topology.dma_time(
+                self.socket, mem_socket, nbytes, segments)
+            if len(self._time_cache) < 8192:
+                self._time_cache[key] = duration
         yield self._bus.acquire()
         try:
-            yield self.sim.timeout(duration)
+            yield duration
         finally:
             self._bus.release()
         self.dma_bytes += nbytes

@@ -60,8 +60,30 @@ class MetadataCache:
         return self.miss_penalty_ns
 
     def lookup_many(self, keys: list[Hashable]) -> float:
-        """Accumulated penalty of touching several keys (multi-page ops)."""
-        return sum(self.lookup(k) for k in keys)
+        """Accumulated penalty of touching several keys (multi-page ops).
+
+        Semantically ``sum(lookup(k) for k in keys)``; runs as one tight
+        loop with locally accumulated counters (this is on the per-WR hot
+        path — every op translates at least one page).
+        """
+        entries = self._entries
+        move = entries.move_to_end
+        cap = self.capacity
+        hits = misses = evictions = 0
+        for k in keys:
+            if k in entries:
+                move(k)
+                hits += 1
+            else:
+                misses += 1
+                entries[k] = None
+                if len(entries) > cap:
+                    entries.popitem(last=False)
+                    evictions += 1
+        self.hits += hits
+        self.misses += misses
+        self.evictions += evictions
+        return misses * self.miss_penalty_ns
 
     def set_capacity(self, capacity: int) -> None:
         """Resize the cache (SRAM repartitioning under QP pressure).

@@ -26,10 +26,12 @@ class Switch:
         self.ports = ports
         self.packets = 0
         self.bytes = 0
+        # Constant for a given (frozen) params; computed once, read per op.
+        self._traverse_ns = 2 * params.wire_latency_ns + params.switch_latency_ns
 
     def traverse_ns(self) -> float:
         """One-way latency through the fabric: wire in, switch, wire out."""
-        return 2 * self.params.wire_latency_ns + self.params.switch_latency_ns
+        return self._traverse_ns
 
     def record(self, nbytes: int) -> None:
         """Accounting hook called by sending ports."""

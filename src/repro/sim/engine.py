@@ -17,12 +17,54 @@ Design notes
 * Errors raised inside a process that nobody waits on re-raise out of
   :meth:`Simulator.run` — silent failure would make cost-model bugs look
   like performance results.
+
+Fast-path design (see docs/PERFORMANCE.md)
+------------------------------------------
+The engine is the replay loop under every figure/bench sweep, so its
+per-event constant factor is the repository's hottest number.  The
+optimizations below are all *schedule-preserving*: they change how fast an
+event is dispatched, never which event fires next.
+
+* **Fused dispatch** — :meth:`Simulator.run` pops and dispatches events in
+  one inlined loop (no per-event ``step()`` call, no ``_run_callbacks``
+  call); :meth:`step` remains for single-stepping.
+* **Object pooling** — ``Timeout`` and plain ``Event`` instances are
+  recycled through per-simulator free lists.  Recycling is gated on
+  ``sys.getrefcount``: an event is only pooled when the dispatch loop holds
+  the *sole* remaining reference, so a caller that kept a handle (condition
+  events, completion events stashed in an in-flight list...) can never
+  observe a reset object.
+* **Cancellation tombstones** — :meth:`Event.cancel` marks an event dead in
+  O(1) and frees its callback list immediately; the heap entry stays put
+  and is skipped (and recycled) when it surfaces.  No heap rebuilds, no
+  callbacks holding dead closures alive across long sweeps.
+* **Slotted everything** — every class here (including the Simulator)
+  declares ``__slots__``; event churn never allocates ``__dict__``s.
+* **Bare-delay lane** — a process may ``yield 12.5`` instead of
+  ``yield sim.timeout(12.5)``: the engine parks it on a reusable per-
+  process ``_Sleep`` marker and resumes the generator straight from the
+  dispatch loop, skipping Event construction, callback lists and pool
+  probes entirely.  Sequence numbers are allocated at the same moments,
+  so the two spellings produce bit-identical schedules.
+
+The enqueue order — one global ``_seq`` incremented per scheduled event,
+keys ``(now + delay, priority, seq)`` — is untouched by all of the above,
+which is what the schedule-identity tests in ``tests/test_perf_harness.py``
+pin down.
 """
 
 from __future__ import annotations
 
+import gc
 import heapq
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, Optional
+
+try:  # CPython: exact refcounts gate object recycling.
+    from sys import getrefcount as _refs
+except ImportError:  # pragma: no cover - non-refcounted runtimes
+    def _refs(_obj: Any) -> int:
+        return 1 << 30  # pooling disabled: nothing ever looks unreferenced
 
 __all__ = [
     "AllOf",
@@ -34,6 +76,10 @@ __all__ = [
     "Simulator",
     "Timeout",
 ]
+
+#: Free-list bound per pool: enough to absorb the steady-state churn of a
+#: deep pipeline, small enough to be invisible in memory profiles.
+_POOL_CAP = 512
 
 
 class SimulationError(RuntimeError):
@@ -57,6 +103,45 @@ URGENT = 0
 NORMAL = 1
 
 
+class _Sleep:
+    """Heap marker for a process suspended on a bare ``yield <delay>``.
+
+    The bare-delay fast lane: a generator may yield a plain non-negative
+    float (or int) instead of ``sim.timeout(delay)`` when it only wants to
+    pause — no carried value, no shared waiters, no cancellation handle.
+    The engine then skips the whole Event life cycle: one reusable marker
+    per process is pushed straight onto the heap and the dispatch loop
+    resumes the generator directly — no callback list, no pooling probe,
+    no ``_processed`` bookkeeping.  The scheduling key is allocated exactly
+    like a ``Timeout``'s ``(now + delay, NORMAL, next seq)`` at the same
+    moment, so schedules are bit-identical to the Timeout spelling — the
+    event is just dispatched much more cheaply.
+
+    Process bootstrap rides the same marker (with ``URGENT`` priority,
+    matching the old boot event's key) so starting a process allocates
+    nothing either.
+
+    ``proc`` is detached (set to ``None``) when the sleeper is
+    interrupted; the stale heap entry then reads as cancelled and is
+    skipped like any tombstone.
+    """
+
+    __slots__ = ("proc",)
+
+    #: Read by ``Process._step`` when single-stepping resumes a sleeper.
+    _value: Any = None
+
+    def __init__(self, proc: "Process"):
+        self.proc: Optional["Process"] = proc
+
+    @property
+    def _cancelled(self) -> bool:
+        # peek()/step() probe heap entries uniformly; a detached or
+        # superseded sleep marker behaves like a tombstoned Timeout.
+        p = self.proc
+        return p is None or p._waiting_on is not self
+
+
 class Event:
     """A one-shot occurrence at a point in simulated time.
 
@@ -65,7 +150,8 @@ class Event:
     trigger it immediately (at the current simulation time).
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_ok", "_triggered", "_processed")
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_triggered",
+                 "_processed", "_cancelled")
 
     _PENDING = object()
 
@@ -76,6 +162,7 @@ class Event:
         self._ok: bool = True
         self._triggered = False
         self._processed = False
+        self._cancelled = False
 
     # -- state inspection -------------------------------------------------
     @property
@@ -85,6 +172,10 @@ class Event:
     @property
     def processed(self) -> bool:
         return self._processed
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
 
     @property
     def ok(self) -> bool:
@@ -101,25 +192,52 @@ class Event:
     # -- triggering -------------------------------------------------------
     def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
         """Mark the event successful and schedule its callbacks."""
-        if self._triggered:
+        if self._triggered or self._cancelled:
             raise SimulationError(f"{self!r} already triggered")
         self._triggered = True
         self._ok = True
         self._value = value
-        self.sim._enqueue(self, delay, NORMAL)
+        sim = self.sim
+        sim._seq = seq = sim._seq + 1
+        heappush(sim._heap, (sim.now + delay, NORMAL, seq, self))
         return self
 
     def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
         """Mark the event failed; waiters will see ``exception`` raised."""
-        if self._triggered:
+        if self._triggered or self._cancelled:
             raise SimulationError(f"{self!r} already triggered")
         if not isinstance(exception, BaseException):
             raise TypeError("fail() requires an exception instance")
         self._triggered = True
         self._ok = False
         self._value = exception
-        self.sim._enqueue(self, delay, NORMAL)
+        sim = self.sim
+        sim._seq = seq = sim._seq + 1
+        heappush(sim._heap, (sim.now + delay, NORMAL, seq, self))
         return self
+
+    # -- cancellation -------------------------------------------------------
+    def cancel(self) -> bool:
+        """Withdraw the event: it will never fire and never run callbacks.
+
+        O(1) tombstone scheme: any heap entry stays where it is and is
+        skipped (then recycled) when it reaches the top — no heap rebuild.
+        The callback list is freed *immediately*, so closures (and the
+        processes/buffers they capture) are reclaimable right away instead
+        of living until the dead entry would have fired — the difference
+        between a flat and a growing RSS on long timer-heavy sweeps.
+
+        Returns ``True`` if the event was cancelled, ``False`` if it had
+        already been processed (too late) or cancelled before.  Intended
+        for timer-like events (timeouts, pending resource grants); do not
+        cancel a :class:`Process` someone may still wait on — interrupt it.
+        """
+        if self._processed or self._cancelled:
+            return False
+        self._cancelled = True
+        self.callbacks = None  # free waiter closures NOW, not at fire time
+        self.sim.events_cancelled += 1
+        return True
 
     # -- internal ---------------------------------------------------------
     def _run_callbacks(self) -> None:
@@ -134,15 +252,26 @@ class Event:
 
         If the event has already been processed the callback runs
         immediately — this keeps "wait on a finished process" race-free.
+        On a cancelled event the callback is dropped: it will never run.
         """
         if self.callbacks is None:
-            cb(self)
+            if not self._cancelled:
+                cb(self)
         else:
             self.callbacks.append(cb)
 
+    def discard_callback(self, cb: Callable[["Event"], None]) -> None:
+        """Unregister one occurrence of ``cb`` (no-op if absent/processed)."""
+        if self.callbacks:
+            try:
+                self.callbacks.remove(cb)
+            except ValueError:
+                pass
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = (
-            "processed" if self._processed
+            "cancelled" if self._cancelled
+            else "processed" if self._processed
             else "triggered" if self._triggered
             else "pending"
         )
@@ -150,7 +279,11 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires ``delay`` nanoseconds after creation."""
+    """An event that fires ``delay`` nanoseconds after creation.
+
+    Prefer :meth:`Simulator.timeout`, which recycles Timeout objects
+    through a free list (identical semantics, ~no allocation).
+    """
 
     __slots__ = ("delay",)
 
@@ -162,35 +295,48 @@ class Timeout(Event):
         self._triggered = True
         self._ok = True
         self._value = value
-        sim._enqueue(self, delay, NORMAL)
+        sim._seq = seq = sim._seq + 1
+        heappush(sim._heap, (sim.now + delay, NORMAL, seq, self))
 
 
 class Process(Event):
     """Drives a generator; completes (as an event) with its return value.
 
     Yield targets inside the generator must be :class:`Event` instances
-    (timeouts, resource grants, other processes, ``AllOf``/``AnyOf``...).
+    (timeouts, resource grants, other processes, ``AllOf``/``AnyOf``...)
+    or a bare non-negative float — a pure delay equivalent to
+    ``sim.timeout(delay)`` but dispatched through the cheap
+    :class:`_Sleep` lane (same schedule, no Event object).
     """
 
-    __slots__ = ("_generator", "_waiting_on", "name")
+    __slots__ = ("_generator", "_waiting_on", "name", "_bound_resume",
+                 "_send", "_sleep")
 
     def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
         super().__init__(sim)
-        if not hasattr(generator, "send"):
+        try:
+            # Doubles as the generator type check and the hot-path cache:
+            # _resume calls this bound method once per resumption.
+            self._send = generator.send
+        except AttributeError:
             raise TypeError(
                 f"Process requires a generator, got {type(generator).__name__}; "
                 "did you forget to call the process function?"
-            )
+            ) from None
         self._generator = generator
         self.name = name or getattr(generator, "__name__", "process")
-        # Bootstrap: resume the generator as soon as the engine starts.
-        boot = Event(sim)
-        boot._triggered = True
-        boot._ok = True
-        boot._value = None
-        self._waiting_on: Optional[Event] = boot
-        sim._enqueue(boot, 0.0, URGENT)
-        boot.add_callback(self._resume)
+        # Bootstrap through the bare-delay marker: the dispatch loop sends
+        # the first ``None`` into the generator directly.  Same
+        # ``(now, URGENT, seq)`` key the old boot event used — schedules
+        # are unchanged, but starting a process allocates nothing.
+        s = self._sleep = _Sleep(self)
+        self._waiting_on: Any = s
+        sim._seq = seq = sim._seq + 1
+        heappush(sim._heap, (sim.now, URGENT, seq, s))
+        # One bound method for the process's whole life: every yield target
+        # gets this same object appended, instead of materializing a fresh
+        # bound method per resumption.
+        self._bound_resume = self._resume
 
     @property
     def is_alive(self) -> bool:
@@ -204,9 +350,30 @@ class Process(Event):
         interrupter._triggered = True
         interrupter._ok = False
         interrupter._value = Interrupt(cause)
-        # Detach from whatever we were waiting on so the stale wakeup is
-        # ignored when (if) it fires later.
+        # Detach from whatever we were waiting on: drop our resume callback
+        # so the abandoned event no longer pins this process (generator
+        # frame and all) in memory, and tombstone the event outright when
+        # we were its only consumer.  Pre-fix, the dead entry kept its
+        # callback list until it fired and every stale wakeup still ran
+        # ``_resume`` — a leak *and* wasted dispatch on long sweeps.
+        waited = self._waiting_on
         self._waiting_on = None
+        if type(waited) is _Sleep:
+            # Bare-delay sleeper: detach the marker so the stale heap
+            # entry reads as cancelled and is skipped in O(1) — the exact
+            # analogue of the solitary-Timeout tombstone below, with the
+            # same events_cancelled accounting.
+            waited.proc = None
+            self._sleep = None  # next bare yield allocates a fresh marker
+            self.sim.events_cancelled += 1
+        elif waited is not None and waited.callbacks is not None:
+            waited.discard_callback(self._resume)
+            # A solitary engine-owned timer (sole refs: here, the refcount
+            # probe, and its heap entry) can never be observed again —
+            # tombstone it so the dispatch loop skips it in O(1).
+            if (not waited.callbacks and type(waited) is Timeout
+                    and _refs(waited) <= 3):
+                waited.cancel()
         self.sim._enqueue(interrupter, 0.0, URGENT)
         interrupter.add_callback(self._resume_interrupt)
 
@@ -225,19 +392,19 @@ class Process(Event):
         self._step(trigger, throw=True)
 
     def _resume(self, trigger: Event) -> None:
-        if self._triggered:
-            return  # process already finished; stale wakeup
+        # Hot path: one merged frame per generator resumption (the split
+        # _resume -> _step pair costs a measurable extra call per event).
+        # The single identity test also covers a finished process (its
+        # _waiting_on is always None once triggered) and wakeups from
+        # events abandoned after an interrupt.
         if self._waiting_on is not trigger:
-            return  # wakeup from an event abandoned after an interrupt
-        self._step(trigger, throw=not trigger._ok)
-
-    def _step(self, trigger: Event, throw: bool) -> None:
+            return
         self._waiting_on = None
         try:
-            if throw:
-                target = self._generator.throw(trigger._value)
+            if trigger._ok:
+                target = self._send(trigger._value)
             else:
-                target = self._generator.send(trigger._value)
+                target = self._generator.throw(trigger._value)
         except StopIteration as stop:
             self.succeed(stop.value)
             return
@@ -251,10 +418,68 @@ class Process(Event):
                 return
             self.fail(exc)
             return
+        if type(target) is float:
+            # Bare-delay fast lane (see _Sleep): schedule-identical to
+            # ``yield sim.timeout(target)`` at a fraction of the cost.
+            s = self._sleep
+            if s is None:
+                s = self._sleep = _Sleep(self)
+            self._waiting_on = s
+            sim = self.sim
+            sim._seq = seq = sim._seq + 1
+            heappush(sim._heap, (sim.now + target, NORMAL, seq, s))
+            return
+        if isinstance(target, Event):
+            self._waiting_on = target
+            # Inlined add_callback: a live callback list (the overwhelmingly
+            # common case) is a plain append; a consumed list means the
+            # target is already processed (immediate resume) or cancelled
+            # (drop) — delegate those to the full method.
+            cbs = target.callbacks
+            if cbs is not None:
+                cbs.append(self._bound_resume)
+            else:
+                target.add_callback(self._bound_resume)
+            return
+        err = SimulationError(
+            f"process {self.name!r} yielded {target!r}; processes must "
+            "yield Event instances or bare float delays"
+        )
+        self.sim._crash(err, self)
+
+    def _step(self, trigger: Event, throw: bool) -> None:
+        # Cold path kept for interrupt delivery (throw regardless of _ok).
+        self._waiting_on = None
+        try:
+            if throw:
+                target = self._generator.throw(trigger._value)
+            else:
+                target = self._generator.send(trigger._value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            if not self.callbacks:
+                self.sim._crash(exc, self)
+                self._triggered = True
+                self._ok = False
+                self._value = exc
+                return
+            self.fail(exc)
+            return
+        if type(target) is float:
+            s = self._sleep
+            if s is None:
+                s = self._sleep = _Sleep(self)
+            self._waiting_on = s
+            sim = self.sim
+            sim._seq = seq = sim._seq + 1
+            heappush(sim._heap, (sim.now + target, NORMAL, seq, s))
+            return
         if not isinstance(target, Event):
             err = SimulationError(
                 f"process {self.name!r} yielded {target!r}; processes must "
-                "yield Event instances (Timeout, Process, resource requests...)"
+                "yield Event instances or bare float delays"
             )
             self.sim._crash(err, self)
             return
@@ -319,20 +544,77 @@ class AllOf(Event):
 
 
 class Simulator:
-    """Owns simulated time and the pending-event heap."""
+    """Owns simulated time and the pending-event heap.
+
+    ``events_processed`` / ``events_cancelled`` count dispatched and
+    tombstoned events over the simulator's lifetime; the perf harness
+    (:mod:`repro.bench.perf`) aggregates the class-wide
+    ``Simulator.total_events`` to compute events/sec across the many
+    short-lived simulators a bench sweep builds.
+    """
+
+    __slots__ = ("now", "_heap", "_seq", "_crashed", "events_processed",
+                 "events_cancelled", "_timeout_pool", "_event_pool",
+                 "trace_dispatch")
+
+    #: Class-wide dispatched-event counter (monotonic across instances).
+    total_events: int = 0
 
     def __init__(self):
         self.now: float = 0.0
         self._heap: list[tuple[float, int, int, Event]] = []
         self._seq = 0
         self._crashed: Optional[tuple[BaseException, Optional[Process]]] = None
+        self.events_processed = 0
+        self.events_cancelled = 0
+        self._timeout_pool: list[Timeout] = []
+        self._event_pool: list[Event] = []
+        #: Optional hook ``f(time, priority, seq)`` invoked per dispatched
+        #: event — the schedule-identity tests record timelines through it.
+        #: Dispatch takes a slower loop while set; leave ``None`` in
+        #: production runs.
+        self.trace_dispatch: Optional[Callable[[float, int, int], None]] = None
 
     # -- event construction ------------------------------------------------
     def event(self) -> Event:
+        """A fresh (possibly recycled) untriggered event."""
+        pool = self._event_pool
+        if pool:
+            ev = pool.pop()
+            ev._value = Event._PENDING
+            ev._ok = True
+            ev._triggered = False
+            ev._processed = False
+            ev._cancelled = False
+            return ev
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
-        return Timeout(self, delay, value)
+        """An event firing ``delay`` ns from now (pooled fast path)."""
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        pool = self._timeout_pool
+        if pool:
+            ev = pool.pop()
+            ev._value = value
+            ev._ok = True
+            ev._triggered = True
+            ev._processed = False
+            ev._cancelled = False
+            ev.delay = delay
+        else:
+            ev = Timeout.__new__(Timeout)
+            ev.sim = self
+            ev.callbacks = []
+            ev._value = value
+            ev._ok = True
+            ev._triggered = True
+            ev._processed = False
+            ev._cancelled = False
+            ev.delay = delay
+        self._seq = seq = self._seq + 1
+        heappush(self._heap, (self.now + delay, NORMAL, seq, ev))
+        return ev
 
     def process(self, generator: Generator, name: str = "") -> Process:
         return Process(self, generator, name=name)
@@ -345,59 +627,323 @@ class Simulator:
 
     # -- scheduling ---------------------------------------------------------
     def _enqueue(self, event: Event, delay: float, priority: int) -> None:
-        self._seq += 1
-        heapq.heappush(self._heap, (self.now + delay, priority, self._seq, event))
+        self._seq = seq = self._seq + 1
+        heappush(self._heap, (self.now + delay, priority, seq, event))
 
     def _crash(self, exc: BaseException, proc: Optional[Process]) -> None:
         if self._crashed is None:
             self._crashed = (exc, proc)
 
     # -- execution ----------------------------------------------------------
+    def _raise_crash(self) -> None:
+        exc, proc = self._crashed  # type: ignore[misc]
+        self._crashed = None
+        name = proc.name if proc is not None else "?"
+        raise SimulationError(f"unhandled error in process {name!r}") from exc
+
     def step(self) -> None:
-        """Process the next event on the heap."""
-        when, _prio, _seq, event = heapq.heappop(self._heap)
+        """Process the next event on the heap (single-step debugging aid).
+
+        Cancelled events are skipped in O(1) without advancing time.
+        """
+        heap = self._heap
+        while True:
+            when, _prio, _seq, event = heappop(heap)
+            if not event._cancelled:
+                break
+            self._recycle(event)
+            if not heap:
+                return
         if when < self.now:
             raise SimulationError("event scheduled in the past")
         self.now = when
-        event._run_callbacks()
+        if type(event) is _Sleep:
+            event.proc._step(event, throw=False)
+        else:
+            event._run_callbacks()
+        self.events_processed += 1
+        Simulator.total_events += 1
+        self._recycle(event)
         if self._crashed is not None:
-            exc, proc = self._crashed
-            self._crashed = None
-            name = proc.name if proc is not None else "?"
-            raise SimulationError(f"unhandled error in process {name!r}") from exc
+            self._raise_crash()
+
+    def _recycle(self, event: Event) -> None:
+        """Return a dead engine-owned event to its free list.
+
+        Safe only when the caller's reference is the last one: with the
+        heap entry already popped, ``_refs(event) == 2`` means exactly
+        (this argument binding, the caller's local) — nobody outside the
+        engine can ever observe the object again.
+        """
+        t = type(event)
+        if t is Timeout:
+            if _refs(event) == 3 and len(self._timeout_pool) < _POOL_CAP:
+                if event.callbacks is None:
+                    event.callbacks = []
+                self._timeout_pool.append(event)
+        elif t is Event:
+            if _refs(event) == 3 and len(self._event_pool) < _POOL_CAP:
+                if event.callbacks is None:
+                    event.callbacks = []
+                self._event_pool.append(event)
 
     def run(self, until: Optional[float | Event] = None) -> Any:
         """Run until the heap drains, time ``until`` passes, or event fires.
 
         Returns the event's value when ``until`` is an :class:`Event`.
         """
+        stop: Optional[Event] = None
+        horizon: Optional[float] = None
         if isinstance(until, Event):
             stop = until
             # Mark the event as awaited so a failing process routes its
             # exception here instead of treating it as unhandled.
-            stop.add_callback(lambda _e: None)
-            while not stop._processed:
-                if not self._heap:
-                    raise SimulationError(
-                        "simulation ran out of events before the awaited "
-                        "event fired (deadlock?)"
-                    )
-                self.step()
-            if not stop._ok:
-                raise stop._value
-            return stop._value
-        if until is not None:
+            stop.add_callback(_awaited)
+        elif until is not None:
             horizon = float(until)
             if horizon < self.now:
                 raise ValueError(f"until={horizon} is in the past (now={self.now})")
-            while self._heap and self._heap[0][0] <= horizon:
-                self.step()
+
+        # Fused dispatch loop: everything per-event is inlined (pop,
+        # dispatch, recycle) with hot globals/attributes bound to locals.
+        # This is THE hot loop of the repository; see docs/PERFORMANCE.md
+        # before touching it.
+        heap = self._heap
+        pop = heappop
+        push = heappush
+        refs = _refs
+        tpool = self._timeout_pool
+        epool = self._event_pool
+        trace = self.trace_dispatch
+        dispatched = 0
+        # Pause the cyclic collector for the duration of the dispatch loop:
+        # event churn allocates heavily but almost everything dies by
+        # refcount (pools + acyclic events), so generational scans are pure
+        # overhead mid-run.  Collection timing never influences schedules,
+        # so this is trivially determinism-safe; the previous gc state is
+        # restored on exit and any cycles are reaped at the next threshold.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            # Two specialized copies of the dispatch body: the stop-event
+            # mode moves its termination test AFTER dispatch (the awaited
+            # event can only trigger as a consequence of a dispatch) and
+            # the drain/horizon mode drops the stop checks entirely —
+            # two fewer branches per event than one merged loop.
+            if stop is not None and stop._processed:
+                pass  # already delivered before run() was entered
+            elif stop is not None:
+                while True:
+                    if not heap:
+                        raise SimulationError(
+                            "simulation ran out of events before the awaited "
+                            "event fired (deadlock?)"
+                        )
+                    when, _prio, _seq, event = pop(heap)
+                    if type(event) is _Sleep:
+                        # Bare-delay fast lane: resume the sleeper in
+                        # place — no callbacks, no pooling probes.
+                        p = event.proc
+                        if p is None or p._waiting_on is not event:
+                            continue  # interrupted sleeper: tombstone
+                        if when < self.now:
+                            raise SimulationError(
+                                "event scheduled in the past")
+                        self.now = when
+                        if trace is not None:
+                            trace(when, _prio, _seq)
+                        dispatched += 1
+                        p._waiting_on = None
+                        try:
+                            target = p._send(None)
+                        except StopIteration as fin:
+                            p.succeed(fin.value)
+                        except BaseException as exc:
+                            if not p.callbacks:
+                                self._crash(exc, p)
+                                p._triggered = True
+                                p._ok = False
+                                p._value = exc
+                            else:
+                                p.fail(exc)
+                        else:
+                            if type(target) is float:
+                                p._waiting_on = event
+                                self._seq = seq2 = self._seq + 1
+                                push(heap, (when + target, NORMAL, seq2,
+                                            event))
+                            elif isinstance(target, Event):
+                                p._waiting_on = target
+                                cbs = target.callbacks
+                                if cbs is not None:
+                                    cbs.append(p._bound_resume)
+                                else:
+                                    target.add_callback(p._bound_resume)
+                            else:
+                                self._crash(SimulationError(
+                                    f"process {p.name!r} yielded "
+                                    f"{target!r}; processes must yield "
+                                    "Event instances or bare float delays"
+                                ), p)
+                        if self._crashed is not None:
+                            self._raise_crash()
+                        if stop._processed:
+                            break
+                        continue
+                    if event._cancelled:
+                        self._recycle(event)
+                        continue
+                    if when < self.now:
+                        raise SimulationError("event scheduled in the past")
+                    self.now = when
+                    if trace is not None:
+                        trace(when, _prio, _seq)
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    event._processed = True
+                    if callbacks:
+                        for cb in callbacks:
+                            cb(event)
+                    dispatched += 1
+                    if self._crashed is not None:
+                        self._raise_crash()
+                    # Inline recycle: pool Timeouts/Events nobody else
+                    # holds.  refs == 2: the loop local + the probe arg.
+                    t = type(event)
+                    if t is Timeout:
+                        if refs(event) == 2 and len(tpool) < _POOL_CAP:
+                            if callbacks is not None:
+                                callbacks.clear()
+                                event.callbacks = callbacks
+                            else:
+                                event.callbacks = []
+                            tpool.append(event)
+                    elif t is Event:
+                        if refs(event) == 2 and len(epool) < _POOL_CAP:
+                            if callbacks is not None:
+                                callbacks.clear()
+                                event.callbacks = callbacks
+                            else:
+                                event.callbacks = []
+                            epool.append(event)
+                    if stop._processed:
+                        break
+            else:
+                while heap:
+                    if horizon is not None and heap[0][0] > horizon:
+                        break
+                    when, _prio, _seq, event = pop(heap)
+                    if type(event) is _Sleep:
+                        p = event.proc
+                        if p is None or p._waiting_on is not event:
+                            continue  # interrupted sleeper: tombstone
+                        if when < self.now:
+                            raise SimulationError(
+                                "event scheduled in the past")
+                        self.now = when
+                        if trace is not None:
+                            trace(when, _prio, _seq)
+                        dispatched += 1
+                        p._waiting_on = None
+                        try:
+                            target = p._send(None)
+                        except StopIteration as fin:
+                            p.succeed(fin.value)
+                        except BaseException as exc:
+                            if not p.callbacks:
+                                self._crash(exc, p)
+                                p._triggered = True
+                                p._ok = False
+                                p._value = exc
+                            else:
+                                p.fail(exc)
+                        else:
+                            if type(target) is float:
+                                p._waiting_on = event
+                                self._seq = seq2 = self._seq + 1
+                                push(heap, (when + target, NORMAL, seq2,
+                                            event))
+                            elif isinstance(target, Event):
+                                p._waiting_on = target
+                                cbs = target.callbacks
+                                if cbs is not None:
+                                    cbs.append(p._bound_resume)
+                                else:
+                                    target.add_callback(p._bound_resume)
+                            else:
+                                self._crash(SimulationError(
+                                    f"process {p.name!r} yielded "
+                                    f"{target!r}; processes must yield "
+                                    "Event instances or bare float delays"
+                                ), p)
+                        if self._crashed is not None:
+                            self._raise_crash()
+                        continue
+                    if event._cancelled:
+                        self._recycle(event)
+                        continue
+                    if when < self.now:
+                        raise SimulationError("event scheduled in the past")
+                    self.now = when
+                    if trace is not None:
+                        trace(when, _prio, _seq)
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    event._processed = True
+                    if callbacks:
+                        for cb in callbacks:
+                            cb(event)
+                    dispatched += 1
+                    if self._crashed is not None:
+                        self._raise_crash()
+                    t = type(event)
+                    if t is Timeout:
+                        if refs(event) == 2 and len(tpool) < _POOL_CAP:
+                            if callbacks is not None:
+                                callbacks.clear()
+                                event.callbacks = callbacks
+                            else:
+                                event.callbacks = []
+                            tpool.append(event)
+                    elif t is Event:
+                        if refs(event) == 2 and len(epool) < _POOL_CAP:
+                            if callbacks is not None:
+                                callbacks.clear()
+                                event.callbacks = callbacks
+                            else:
+                                event.callbacks = []
+                            epool.append(event)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+            self.events_processed += dispatched
+            Simulator.total_events += dispatched
+
+        if stop is not None:
+            if not stop._ok:
+                raise stop._value
+            return stop._value
+        if horizon is not None:
             self.now = horizon
-            return None
-        while self._heap:
-            self.step()
         return None
 
     def peek(self) -> float:
-        """Time of the next scheduled event, or ``inf`` if none."""
-        return self._heap[0][0] if self._heap else float("inf")
+        """Time of the next scheduled event, or ``inf`` if none.
+
+        Lazily drops cancelled tombstones sitting on top of the heap.
+        """
+        heap = self._heap
+        while heap and heap[0][3]._cancelled:
+            self._recycle(heappop(heap)[3])
+        return heap[0][0] if heap else float("inf")
+
+
+def _awaited(_event: Event) -> None:
+    """Marker callback: the run() caller is waiting on this event."""
+
+
+# Re-exported for introspection/tests; heapq retained as the one true
+# ordering structure (C heappush beats any Python-level "sorted insert"
+# fast path we measured — see docs/PERFORMANCE.md).
+_ = heapq

@@ -55,9 +55,15 @@ class Resource:
 
     def acquire(self) -> Event:
         """Return an event that fires when a slot is granted."""
-        ev = Event(self.sim)
+        # Grants come from the simulator's event pool (hot path: one
+        # acquire per pipeline stage per op) with the uncontended grant
+        # inlined; FIFO order and schedules are unchanged.
+        ev = self.sim.event()
         if self._in_use < self.capacity:
-            self._grant(ev)
+            if self._in_use == 0:
+                self._busy_since = self.sim.now
+            self._in_use += 1
+            ev.succeed(self)
         else:
             self._waiters.append(ev)
         return ev
@@ -83,7 +89,10 @@ class Resource:
         try:
             self._waiters.remove(grant)
         except ValueError:
-            pass
+            return
+        # Tombstone the abandoned grant so its waiter closures are freed
+        # immediately (see Event.cancel) instead of leaking until GC.
+        grant.cancel()
 
     def busy_time(self) -> float:
         """Total ns during which at least one slot was held."""
@@ -121,7 +130,7 @@ class Store:
         return tuple(self._items)
 
     def put(self, item: Any) -> Event:
-        ev = Event(self.sim)
+        ev = self.sim.event()
         if self._getters:
             # Hand the item straight to the oldest waiting getter.
             self._getters.popleft().succeed(item)
@@ -134,7 +143,7 @@ class Store:
         return ev
 
     def get(self) -> Event:
-        ev = Event(self.sim)
+        ev = self.sim.event()
         if self._items:
             ev.succeed(self._items.popleft())
             if self._putters:

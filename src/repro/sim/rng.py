@@ -3,7 +3,27 @@
 Every stochastic component (workload generators, random access patterns,
 backoff jitter) takes a ``numpy.random.Generator`` derived here, so a run is
 fully determined by one root seed.  Independent streams come from
-``SeedSequence.spawn`` per NumPy's parallel-RNG guidance.
+``SeedSequence.spawn`` per NumPy's parallel-RNG guidance: each child
+sequence is statistically independent of its siblings *and* of the root,
+so adding an actor (one more spawned stream) never perturbs the draws of
+existing actors.
+
+Seeding semantics, spelled out because the perf gate depends on them:
+
+* **One root seed, spawned per actor.**  Components must never share a
+  generator or re-seed from wall-clock/os entropy; they receive a spawned
+  child (``spawn_rngs``) or derive one from an explicit integer.
+* **Draw order is part of the interface.**  Two implementations of the
+  same component (e.g. ``YcsbWorkload.ops`` and its vectorized
+  ``op_arrays``) must consume draws in the same order and count, or
+  seeded results diverge.  The schedule digests in ``repro.bench.perf``
+  (and ``tests/test_perf_harness.py``) pin this: an optimization that
+  changes draw order shows up as a digest mismatch, not a silent drift.
+* **PCG64 everywhere** — one bit-stable algorithm, so a (seed, draw
+  sequence) pair yields identical values on every platform numpy
+  supports.
+
+See docs/PERFORMANCE.md for the wider determinism contract.
 """
 
 from __future__ import annotations

@@ -5,6 +5,27 @@ operations per second).  With simulator time in nanoseconds:
 
 * 1 op / 1000 ns == 1 MOPS, so ``MOPS = ops / elapsed_us``.
 * latency_us = latency_ns / 1000.
+
+Aggregation semantics:
+
+* :class:`StatAccumulator` keeps mean/variance via Welford's online
+  algorithm — O(1) memory, no catastrophic cancellation — and supports
+  ``merge`` (Chan's parallel formula) so per-client accumulators can be
+  combined into a run total without keeping raw samples.  Percentiles
+  *do* require samples; callers that quote tails keep their own lists
+  and use :func:`percentiles`.
+* :func:`percentile` / :func:`percentiles` use linear interpolation
+  between closest ranks (numpy's default convention), so quoted p50/p99
+  match ``np.percentile`` on the same data.
+* :class:`RateMeter` counts only between its ``start()``/``stop()``
+  marks — call ``start()`` after warmup so cold-cache ops don't dilute
+  steady-state throughput.  :class:`WindowedRate` is the moving-window
+  variant used by SLO tracking; a window straddling the warmup boundary
+  blends the two regimes, which is intended (tenancy metrics watch
+  convergence, not steady state).
+* All helpers are wall-clock-free and allocation-light; they appear on
+  fast paths (per-completion accounting), so keep them cheap — see
+  docs/PERFORMANCE.md.
 """
 
 from __future__ import annotations

@@ -215,4 +215,4 @@ class QoSScheduler:
             req.event.succeed(True)
             # Yield the engine once per grant so completions interleave
             # deterministically with dispatch.
-            yield sim.timeout(0)
+            yield 0.0

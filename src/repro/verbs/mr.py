@@ -34,6 +34,11 @@ class MemoryRegion:
         self.mr_id = next(_mr_ids)
         self.rkey = 0xBEEF0000 | (self.mr_id & 0xFFFF)
         self.lkey = 0xFEED0000 | (self.mr_id & 0xFFFF)
+        # Memoized page_keys results: benches hammer a handful of
+        # (offset, length) shapes per MR, and the key lists are immutable
+        # by convention (consumers only iterate them).  Bounded so access
+        # sweeps over huge regions cannot grow it without limit.
+        self._page_key_cache: dict = {}
 
     @property
     def size(self) -> int:
@@ -71,8 +76,17 @@ class MemoryRegion:
         return MrSlice(self, start, stop - start)
 
     def page_keys(self, offset: int, length: int) -> list:
-        """Translation-cache keys for an access into this region."""
-        return pages_of(self.mr_id, offset, length, self.page_size)
+        """Translation-cache keys for an access into this region.
+
+        The returned list is cached and shared — treat it as read-only.
+        """
+        cache = self._page_key_cache
+        keys = cache.get((offset, length))
+        if keys is None:
+            keys = pages_of(self.mr_id, offset, length, self.page_size)
+            if len(cache) < 8192:
+                cache[(offset, length)] = keys
+        return keys
 
     # -- data plane ---------------------------------------------------------
     def read(self, offset: int, length: int) -> bytes:
@@ -94,7 +108,7 @@ class MemoryRegion:
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MrSlice:
     """A byte range ``[offset, offset + length)`` of a registered region.
 

@@ -60,6 +60,10 @@ class QPState(enum.Enum):
 
 _qp_ids = itertools.count(1)
 
+
+def _noop_stamp(_stage: str) -> None:
+    """Stage-stamp used when no tracer is attached: zero per-op closures."""
+
 #: Size of one work-queue entry in host memory (ConnectX-3 uses 64 B
 #: squashed WQEs for short SGLs; each extra SGE adds a 16 B segment).
 WQE_BYTES = 64
@@ -121,6 +125,21 @@ class QueuePair:
         self.fatal_errors = 0
         self.flushed_wrs = 0
         self.reconnects = 0
+        # Hot-path precomputation: params are frozen for the lifetime of
+        # the machine, so the per-opcode execution-unit costs and process
+        # names never change — build them once instead of per post.
+        p = local_machine.params
+        self._params = p
+        self._exec_ns = {
+            Opcode.WRITE: p.exec_write_ns,
+            Opcode.SEND: p.exec_write_ns,
+            Opcode.READ: p.exec_read_ns,
+            Opcode.CAS: p.exec_write_ns,
+            Opcode.FAA: p.exec_write_ns,
+        }
+        self._proc_names = {
+            op: f"qp{self.qp_id}.{op.value}" for op in Opcode
+        }
 
     @property
     def outstanding(self) -> int:
@@ -138,7 +157,7 @@ class QueuePair:
 
     @property
     def params(self):
-        return self.local_machine.params
+        return self._params
 
     # ------------------------------------------------------- state machine
     def _require_postable(self) -> None:
@@ -168,7 +187,7 @@ class QueuePair:
         comp = self._flush_completion(wr)
         if wr.signaled:
             self.cq.push(comp)
-        done = Event(self.sim)
+        done = self.sim.event()
         done.succeed(comp)
         return done
 
@@ -202,11 +221,11 @@ class QueuePair:
         self._check_sq_room(1)
         if self.state is QPState.ERR:
             return self._flush_post(wr)
-        done = Event(self.sim)
+        done = self.sim.event()
         prev, self._last_completion = self._last_completion, done
         self.posted += 1
         self.sim.process(self._execute(wr, done, fetch_wqe=True, prev=prev),
-                         name=f"qp{self.qp_id}.{wr.opcode.value}")
+                         name=self._proc_names[wr.opcode])
         return done
 
     def post_send_batch(self, wrs: list[WorkRequest]) -> list[Event]:
@@ -221,7 +240,8 @@ class QueuePair:
         if self.state is QPState.ERR:
             return [self._flush_post(wr) for wr in wrs]
         self.posted += len(wrs)
-        events = [Event(self.sim) for _ in wrs]
+        sim = self.sim
+        events = [sim.event() for _ in wrs]
         prev, self._last_completion = self._last_completion, events[-1]
         self.sim.process(self._execute_batch(wrs, events, prev),
                          name=f"qp{self.qp_id}.doorbell[{len(wrs)}]")
@@ -245,25 +265,30 @@ class QueuePair:
             # each chains on its predecessor for in-order completion.
             self.sim.process(self._execute(wr, ev, fetch_wqe=False,
                                            prev=prev),
-                             name=f"qp{self.qp_id}.{wr.opcode.value}")
+                             name=self._proc_names[wr.opcode])
             prev = ev
-            yield self.sim.timeout(0)
+            yield 0.0
 
     def _execute(self, wr: WorkRequest, done: Event, fetch_wqe: bool,
                  prev: Optional[Event] = None) -> Generator:
-        p = self.params
+        p = self._params
+        sim = self.sim
         lport, rport = self.local_port, self.remote_port
-        lrnic, rrnic = self.local_machine.rnic, self.remote_machine.rnic
+        lrnic = self.local_machine.rnic
+        opcode = wr.opcode
+        total_len = wr.total_length
         tracer = self.tracer
-        record = (tracer.begin(wr.opcode.value, wr.total_length, self.sim.now,
-                               tags=self.trace_tags)
-                  if tracer is not None else None)
-        _mark = self.sim.now
+        if tracer is None:
+            record = None
+            stamp = None
+        else:
+            record = tracer.begin(opcode.value, total_len, sim.now,
+                                  tags=self.trace_tags)
+            _mark = sim.now
 
-        def stamp(stage: str) -> None:
-            nonlocal _mark
-            if record is not None:
-                now = self.sim.now
+            def stamp(stage: str) -> None:
+                nonlocal _mark
+                now = sim.now
                 record.stages[stage] = record.stages.get(stage, 0.0) \
                     + (now - _mark)
                 _mark = now
@@ -271,24 +296,21 @@ class QueuePair:
         # 1. WQE fetch (skipped when a doorbell batch prefetched it).
         if fetch_wqe:
             yield from lport.pcie.dma(self._wqe_bytes(wr), self.sq_socket)
-        stamp("wqe_fetch")
+        if stamp is not None:
+            stamp("wqe_fetch")
 
         # 2+3. Requester execution with cut-through payload fetch: the PCIe
         # DMA of the payload streams concurrently with WQE processing and
         # wire serialization (the RNIC serializes bytes as they arrive), so
         # both resources are held but the latency is their max.
-        outbound = wr.total_length if wr.opcode in (Opcode.WRITE, Opcode.SEND) else 0
+        outbound = (total_len
+                    if opcode is Opcode.WRITE or opcode is Opcode.SEND else 0)
         inline = outbound <= p.max_inline_bytes
         extra = lrnic.qp_context(self.qp_id)
+        translate = lrnic.translate
         for sge in wr.sgl:
-            extra += lrnic.translate(sge.mr.page_keys(sge.offset, sge.length))
-        exec_ns = {
-            Opcode.WRITE: p.exec_write_ns,
-            Opcode.SEND: p.exec_write_ns,
-            Opcode.READ: p.exec_read_ns,
-            Opcode.CAS: p.exec_write_ns,
-            Opcode.FAA: p.exec_write_ns,
-        }[wr.opcode]
+            extra += translate(sge.mr.page_keys(sge.offset, sge.length))
+        exec_ns = self._exec_ns[opcode]
         wire_payload = outbound if outbound else 16  # request header only
         value = None
         status = CompletionStatus.SUCCESS
@@ -302,23 +324,45 @@ class QueuePair:
                 break
             if outbound and not inline:
                 buf_socket = wr.sgl[0].mr.socket if wr.sgl else lport.socket
-                fetch = self.sim.process(
+                fetch = sim.process(
                     lport.pcie.dma(outbound, buf_socket, segments=wr.n_sge))
-                tx = self.sim.process(
+                tx = sim.process(
                     lport.exec_tx(exec_ns, wire_payload, wr.n_sge, extra))
-                yield self.sim.all_of([fetch, tx])
+                yield sim.all_of([fetch, tx])
             else:
-                yield from lport.exec_tx(exec_ns, wire_payload, wr.n_sge, extra)
+                # Inlined lport.exec_tx: the single-attempt inline-payload
+                # case is the hottest path in every small-op bench, and the
+                # extra generator frame + yield-from delegation are
+                # measurable at millions of ops.
+                hold = lport._perturb(lport.tx_occupancy_ns(
+                    exec_ns, wire_payload, wr.n_sge, extra))
+                yield lport.tx_unit.acquire()
+                try:
+                    yield hold
+                finally:
+                    lport.tx_unit.release()
+                lport.tx_ops += 1
+                lrnic.switch.record(wire_payload)
+            if (lport.link_up and rport.link_up
+                    and lport.loss_prob == 0.0 and rport.loss_prob == 0.0):
+                # Sunny path: neither port can drop, so skip the per-attempt
+                # sampling calls entirely (they would not draw rng anyway —
+                # schedules are identical either way, just cheaper).
+                if stamp is not None:
+                    stamp("exec")
+                break
             if not (lport.packet_lost() or rport.packet_lost()):
                 # Cut-through folds the payload fetch into this window.
-                stamp("exec")
+                if stamp is not None:
+                    stamp("exec")
                 break
             # Lost attempt: the requester only learns from silence — hold
             # for the (exponentially backed-off) transport ACK timeout,
             # then either retransmit or declare the retry budget spent.
             losses += 1
-            yield self.sim.timeout(self._retrans_wait_ns(losses))
-            stamp("retrans")
+            yield self._retrans_wait_ns(losses)
+            if stamp is not None:
+                stamp("retrans")
             if self.state is not QPState.RTS:
                 # An earlier WR declared the QP dead while this one sat on
                 # its transport timer: it flushes rather than burning (and
@@ -333,34 +377,35 @@ class QueuePair:
             self.retransmissions += 1
 
         if status is CompletionStatus.SUCCESS:
-            value = yield from self._responder_phase(wr, stamp)
+            value = yield from self._responder_phase(wr, stamp, total_len)
         if record is not None:
             record.retries = retries_done
 
         if wr.signaled:
-            yield self.sim.timeout(p.cqe_dma_ns)
+            yield p.cqe_dma_ns
         # RC in-order completion: never overtake an earlier WR on this QP.
-        if prev is not None and not prev.processed:
+        if prev is not None and not prev._processed:
             yield prev
         if self.state is QPState.ERR and status is CompletionStatus.SUCCESS:
             # The QP died while this (already executed) WR awaited in-order
             # delivery: RC reports it flushed — its data may have landed,
             # the same ambiguity a real flushed completion carries.
             status = CompletionStatus.WR_FLUSH_ERR
-        stamp("delivery")
+        if stamp is not None:
+            stamp("delivery")
         if record is not None:
-            tracer.commit(record, self.sim.now)
+            tracer.commit(record, sim.now)
         self.completed += 1
         if status is CompletionStatus.WR_FLUSH_ERR:
             self.flushed_wrs += 1
         if status is CompletionStatus.SUCCESS:
-            byte_len = wr.total_length if not wr.opcode.is_atomic else 8
+            byte_len = 8 if opcode.is_atomic else total_len
         else:
             value = None
             byte_len = 0
         completion = Completion(
-            wr_id=wr.wr_id, opcode=wr.opcode, status=status,
-            timestamp_ns=self.sim.now, value=value,
+            wr_id=wr.wr_id, opcode=opcode, status=status,
+            timestamp_ns=sim.now, value=value,
             byte_len=byte_len, retries=retries_done)
         if wr.signaled:
             self.cq.push(completion)
@@ -369,22 +414,26 @@ class QueuePair:
     def _retrans_wait_ns(self, losses: int) -> float:
         """Transport timer for the ``losses``-th consecutive silence:
         truncated exponential backoff off ``retrans_timeout_ns``."""
-        p = self.params
+        p = self._params
         return min(p.retrans_timeout_ns * p.retrans_backoff ** (losses - 1),
                    p.retrans_timeout_cap_ns)
 
-    def _responder_phase(self, wr: WorkRequest, stamp) -> Generator:
+    def _responder_phase(self, wr: WorkRequest, stamp,
+                         total_len: int) -> Generator:
         """Stages 4-7 of a delivered request: fabric, responder execution,
         ACK/response, and local delivery.  Runs once, after the (possibly
         retransmitted) request finally got through; returns the atomic
-        result value (None for non-atomics)."""
-        p = self.params
+        result value (None for non-atomics).  ``total_len`` is the caller's
+        already-computed ``wr.total_length``."""
+        p = self._params
+        sim = self.sim
         lport, rport = self.local_port, self.remote_port
         lrnic, rrnic = self.local_machine.rnic, self.remote_machine.rnic
 
         # 4. Fabric.
-        yield self.sim.timeout(lrnic.switch.traverse_ns())
-        stamp("network")
+        yield lrnic.switch._traverse_ns
+        if stamp is not None:
+            stamp("network")
 
         # 5. Responder.
         value = None
@@ -410,7 +459,7 @@ class QueuePair:
         elif wr.opcode is Opcode.WRITE:
             rmr = wr.remote_mr
             r_extra += rrnic.translate(
-                rmr.page_keys(wr.remote_offset, wr.total_length))
+                rmr.page_keys(wr.remote_offset, total_len))
             # Inbound DMA to the alternate socket partially stalls the
             # responder pipeline (Section II-B4).
             r_extra += (p.responder_cross_exposure
@@ -420,7 +469,7 @@ class QueuePair:
             # release) serializes with the device-wide RMW lock — this is
             # what makes contended remote spinlock handover expensive.
             word_lock = None
-            if wr.total_length == 8:
+            if total_len == 8:
                 word_lock = rrnic._atomic_locks.get(
                     (rmr.mr_id, wr.remote_offset))
             if word_lock is not None:
@@ -428,12 +477,12 @@ class QueuePair:
             try:
                 # Cut-through drain: the responder DMA-writes packets to
                 # host memory while later packets are still arriving.
-                rx = self.sim.process(rport.exec_rx(
+                rx = sim.process(rport.exec_rx(
                     p.responder_ns, extra_ns=r_extra,
-                    payload_bytes=wr.total_length))
-                drain = self.sim.process(
-                    rport.pcie.dma(wr.total_length, rmr.socket))
-                yield self.sim.all_of([rx, drain])
+                    payload_bytes=total_len))
+                drain = sim.process(
+                    rport.pcie.dma(total_len, rmr.socket))
+                yield sim.all_of([rx, drain])
             finally:
                 if word_lock is not None:
                     word_lock.release()
@@ -442,39 +491,42 @@ class QueuePair:
         elif wr.opcode is Opcode.READ:
             rmr = wr.remote_mr
             r_extra += rrnic.translate(
-                rmr.page_keys(wr.remote_offset, wr.total_length))
+                rmr.page_keys(wr.remote_offset, total_len))
             yield from rport.exec_rx(p.responder_ns, extra_ns=r_extra)
             # Host-memory fetch turnaround: pure latency, pipelined by the
             # hardware, so it does not occupy the responder unit.
-            yield self.sim.timeout(p.read_turnaround_ns)
-            yield from rport.pcie.dma(wr.total_length, rmr.socket)
+            yield p.read_turnaround_ns
+            yield from rport.pcie.dma(total_len, rmr.socket)
             # Response data serializes on the responder's link (this is why
             # outbound READ underperforms inbound WRITE — Section IV-C).
-            yield from rport.exec_tx(p.responder_ns, wr.total_length)
-            response_payload = wr.total_length
+            yield from rport.exec_tx(p.responder_ns, total_len)
+            response_payload = total_len
         elif wr.opcode is Opcode.SEND:
             yield from rport.exec_rx(p.responder_ns, extra_ns=r_extra,
                                      payload_bytes=wr.payload_bytes)
             yield from rport.pcie.dma(max(wr.payload_bytes, 1), rport.socket)
 
-        stamp("responder")
+        if stamp is not None:
+
+            stamp("responder")
 
         # 6. ACK / response returns.
-        yield self.sim.timeout(lrnic.switch.traverse_ns())
-        stamp("response_net")
+        yield lrnic.switch._traverse_ns
+        if stamp is not None:
+            stamp("response_net")
 
         # 7. Local delivery: READ data scattered into local buffers.
         if wr.opcode is Opcode.READ:
             buf_socket = wr.sgl[0].mr.socket
             yield from lport.pcie.dma(
-                wr.total_length, buf_socket, segments=wr.n_sge)
+                total_len, buf_socket, segments=wr.n_sge)
             if wr.move_data:
                 self._apply_read(wr)
         if wr.opcode is Opcode.SEND:
             # Deliver to the peer's receive queue (remote CPU will poll it).
             self.recv_queue.put(Completion(
                 wr_id=wr.wr_id, opcode=Opcode.SEND, status=status,
-                timestamp_ns=self.sim.now, value=wr.payload,
+                timestamp_ns=sim.now, value=wr.payload,
                 byte_len=wr.payload_bytes))
         return value
 

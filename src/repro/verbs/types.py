@@ -23,13 +23,14 @@ class Opcode(enum.Enum):
     FAA = "fetch_and_add"
     SEND = "send"
 
-    @property
-    def one_sided(self) -> bool:
-        return self is not Opcode.SEND
 
-    @property
-    def is_atomic(self) -> bool:
-        return self in (Opcode.CAS, Opcode.FAA)
+# ``one_sided`` / ``is_atomic`` are consulted per work request on the
+# pipeline hot path; precompute them as plain member attributes (enum
+# members are singletons) instead of paying a property call per access.
+for _op in Opcode:
+    _op.one_sided = _op is not Opcode.SEND
+    _op.is_atomic = _op in (Opcode.CAS, Opcode.FAA)
+del _op
 
 
 class CompletionStatus(enum.Enum):
@@ -49,7 +50,7 @@ class CompletionStatus(enum.Enum):
     WR_FLUSH_ERR = "wr_flushed"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Sge:
     """One scatter/gather element: a slice of a local memory region."""
 
@@ -67,7 +68,7 @@ class Sge:
             )
 
 
-@dataclass
+@dataclass(slots=True)
 class WorkRequest:
     """A work queue entry, as posted to a QP's send queue.
 
@@ -103,11 +104,15 @@ class WorkRequest:
 
     @property
     def total_length(self) -> int:
-        if self.opcode is Opcode.SEND:
+        op = self.opcode
+        if op is Opcode.SEND:
             return self.payload_bytes
-        if self.opcode.is_atomic:
+        if op.is_atomic:
             return 8
-        return sum(sge.length for sge in self.sgl)
+        sgl = self.sgl
+        if len(sgl) == 1:  # the overwhelmingly common single-SGE case
+            return sgl[0].length
+        return sum(sge.length for sge in sgl)
 
     @property
     def n_sge(self) -> int:
@@ -135,7 +140,7 @@ class WorkRequest:
             raise ValueError("negative SEND payload size")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Completion:
     """A completion-queue entry."""
 

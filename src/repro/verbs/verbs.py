@@ -159,6 +159,12 @@ class Worker:
         self.name = name or f"w{machine}.{socket}"
         self.cpu_busy_ns = 0.0
         self.ops = 0
+        # Hot-path constants: params are frozen and the worker never moves
+        # sockets, so its MMIO-cost row and CPU costs are fixed for life.
+        self.machine.topology._check(socket)
+        self._mmio_row = self.machine.topology._mmio[socket]
+        self._prep_ns = self.params.cpu_wqe_prep_ns
+        self._poll_ns = self.params.cpu_poll_ns
 
     # -- CPU accounting -------------------------------------------------------
     def compute(self, ns: float) -> Generator:
@@ -166,7 +172,7 @@ class Worker:
         if ns < 0:
             raise ValueError(f"negative compute time: {ns}")
         self.cpu_busy_ns += ns
-        yield self.sim.timeout(ns)
+        yield ns + 0.0  # coerce int ns: only floats ride the bare-delay lane
 
     def memcpy(self, nbytes: int, src_socket: Optional[int] = None,
                dst_socket: Optional[int] = None) -> Generator:
@@ -175,7 +181,8 @@ class Worker:
             nbytes, self.socket,
             self.socket if src_socket is None else src_socket,
             self.socket if dst_socket is None else dst_socket)
-        yield from self.compute(cost)
+        self.cpu_busy_ns += cost
+        yield cost
 
     def local_write(self, nbytes: int, pattern: AccessPattern,
                     mem_socket: Optional[int] = None) -> Generator:
@@ -210,10 +217,12 @@ class Worker:
         may queue behind the tenant's QoS share, or complete immediately
         with ``CompletionStatus.REJECTED`` if admission control sheds it.
         """
-        self._check_affinity(qp)
-        prep = self.params.cpu_wqe_prep_ns * (1 + 0.2 * (wr.n_sge - 1))
-        mmio = self.machine.topology.mmio_time(self.socket, qp.local_port.socket)
-        yield from self.compute(prep + mmio)
+        if qp.local_machine is not self.machine:
+            self._check_affinity(qp)
+        prep = self._prep_ns * (1 + 0.2 * (wr.n_sge - 1))
+        cost = prep + self._mmio_row[qp.local_port.socket]
+        self.cpu_busy_ns += cost
+        yield cost
         plane = self._plane_for(qp)
         if plane is not None:
             return plane.submit(qp, wr)
@@ -221,11 +230,13 @@ class Worker:
 
     def post_batch(self, qp: QueuePair, wrs: list[WorkRequest]) -> Generator:
         """Doorbell batching: k WQE preps but a single MMIO (Section III-A)."""
-        self._check_affinity(qp)
-        prep = sum(self.params.cpu_wqe_prep_ns * (1 + 0.2 * (w.n_sge - 1))
-                   for w in wrs)
-        mmio = self.machine.topology.mmio_time(self.socket, qp.local_port.socket)
-        yield from self.compute(prep + mmio)
+        if qp.local_machine is not self.machine:
+            self._check_affinity(qp)
+        prep_ns = self._prep_ns
+        prep = sum(prep_ns * (1 + 0.2 * (w.n_sge - 1)) for w in wrs)
+        cost = prep + self._mmio_row[qp.local_port.socket]
+        self.cpu_busy_ns += cost
+        yield cost
         plane = self._plane_for(qp)
         if plane is not None:
             return plane.submit_batch(qp, wrs)
@@ -241,7 +252,9 @@ class Worker:
         own, so transport failures are never silently ignored.
         """
         completion: Completion = yield completion_event
-        yield from self.compute(self.params.cpu_poll_ns)
+        poll = self._poll_ns
+        self.cpu_busy_ns += poll
+        yield poll
         self.ops += 1
         if raise_on_error and not completion.ok:
             raise CompletionError(completion)

@@ -80,16 +80,36 @@ class YcsbWorkload:
         return cls(n_keys=n_keys, value_size=value_size, rng=rng,
                    **cls.PRESETS[key])
 
-    def ops(self, n: int) -> Iterator[Op]:
-        """``n`` operations, sampled lazily in chunks."""
+    def op_arrays(self, n: int) -> dict[str, np.ndarray]:
+        """``n`` operations as parallel NumPy arrays (the vectorized form).
+
+        Returns ``{"keys", "is_write", "is_rmw"}`` — ``keys`` are
+        popularity ranks (int64, 0 == hottest), ``is_write``/``is_rmw``
+        boolean masks (an RMW op has both set).  One rng draw per array
+        instead of per op: generating the key stream for a million-op
+        sweep costs milliseconds, and drivers that only need the arrays
+        (access-pattern studies, cache simulations) never materialize a
+        Python object per op.  Draw order matches :meth:`ops` exactly, so
+        the two forms consume identical rng streams for the same ``n``.
+        """
         if n < 1:
             raise ValueError(f"n must be >= 1, got {n}")
         keys = self.zipf.sample(n)
         writes = self.rng.random(n) < self.write_ratio
         rmws = self.rng.random(n) < self.rmw_ratio
+        return {"keys": keys, "is_write": writes,
+                "is_rmw": writes & rmws}
+
+    def ops(self, n: int) -> Iterator[Op]:
+        """``n`` operations as :class:`Op` objects (thin view over
+        :meth:`op_arrays`; prefer the arrays on hot paths)."""
+        arrays = self.op_arrays(n)
+        keys, writes, rmws = (arrays["keys"], arrays["is_write"],
+                              arrays["is_rmw"])
+        value_size = self.value_size
         for i in range(n):
             if writes[i]:
                 kind = OpKind.RMW if rmws[i] else OpKind.WRITE
             else:
                 kind = OpKind.READ
-            yield Op(kind, int(keys[i]), self.value_size)
+            yield Op(kind, int(keys[i]), value_size)

@@ -1,0 +1,167 @@
+"""The perf harness (repro.bench.perf) and the engine's determinism
+contract: well-formed baselines, a gate that actually trips, and
+schedule-identity pins for the fast-path optimizations."""
+
+import json
+
+import pytest
+
+from repro.bench.perf import harness
+from repro.sim import Interrupt, Simulator
+
+
+def _trace_all(monkeypatch, timelines):
+    """Record (when, priority, seq) of every dispatch of every Simulator
+    built while the patch is active (figure sweeps build many)."""
+    orig_init = Simulator.__init__
+
+    def patched(self):
+        orig_init(self)
+        rec = []
+        timelines.append(rec)
+        self.trace_dispatch = (
+            lambda when, prio, seq: rec.append((when, prio, seq)))
+
+    monkeypatch.setattr(Simulator, "__init__", patched)
+
+
+# ------------------------------------------------------------- the harness
+def test_run_scenarios_emits_well_formed_json(tmp_path):
+    data = harness.run_scenarios(["engine_dispatch"])
+    # Round-trips through JSON and carries the full schema.
+    path = tmp_path / "BENCH_perf.json"
+    path.write_text(json.dumps(data))
+    loaded = json.loads(path.read_text())
+    assert loaded["format"] == 1
+    row = loaded["scenarios"]["engine_dispatch"]
+    assert set(row) == {"wall_s", "events", "events_per_sec", "digest"}
+    assert row["events"] > 1_000_000  # the microbench dispatches ~1.6M
+    assert row["events_per_sec"] > 0
+    assert len(row["digest"]) == 64  # sha256 hex
+
+
+def test_engine_dispatch_digest_is_reproducible():
+    a = harness.run_scenarios(["engine_dispatch"])["scenarios"]
+    b = harness.run_scenarios(["engine_dispatch"])["scenarios"]
+    assert (a["engine_dispatch"]["digest"]
+            == b["engine_dispatch"]["digest"])
+    assert (a["engine_dispatch"]["events"]
+            == b["engine_dispatch"]["events"])
+
+
+def test_gate_trips_on_injected_slowdown():
+    current = harness.run_scenarios(["engine_dispatch"])
+    # Pretend the committed baseline was 2x faster than what we just
+    # measured: a 50% drop must fail a 20% gate...
+    baseline = json.loads(json.dumps(current))
+    row = baseline["scenarios"]["engine_dispatch"]
+    row["events_per_sec"] *= 2
+    failures = harness.check(baseline, current, tolerance=0.20)
+    assert any("below baseline" in f for f in failures)
+    # ...and pass a lenient one.
+    assert harness.check(baseline, current, tolerance=0.60) == []
+
+
+def test_gate_trips_on_schedule_digest_change():
+    current = harness.run_scenarios(["engine_dispatch"])
+    baseline = json.loads(json.dumps(current))
+    baseline["scenarios"]["engine_dispatch"]["digest"] = "0" * 64
+    failures = harness.check(baseline, current)
+    assert any("digest" in f for f in failures)
+
+
+def test_gate_passes_on_identical_runs():
+    current = harness.run_scenarios(["engine_dispatch"])
+    baseline = json.loads(json.dumps(current))
+    assert harness.check(baseline, current) == []
+
+
+def test_gate_flags_scenario_missing_from_baseline():
+    current = harness.run_scenarios(["engine_dispatch"])
+    failures = harness.check({"format": 1, "scenarios": {}}, current)
+    assert any("not in baseline" in f for f in failures)
+
+
+# ---------------------------------------------------- schedule identity
+@pytest.mark.parametrize("target", ["repro.bench.fig01_throttling",
+                                    "repro.bench.ext7_fault_recovery"])
+def test_seeded_figure_replays_byte_identical_timelines(
+        monkeypatch, target):
+    """Two runs of a seeded sweep dispatch the exact same (time, priority,
+    seq) sequence — the strongest statement of engine determinism, and
+    what every fast-path optimization must preserve."""
+    import importlib
+    module = importlib.import_module(target)
+
+    runs = []
+    for _ in range(2):
+        timelines = []
+        with pytest.MonkeyPatch.context() as mp:
+            _trace_all(mp, timelines)
+            module.run(quick=True)
+        runs.append(timelines)
+    assert runs[0] == runs[1]
+    assert sum(len(t) for t in runs[0]) > 10_000  # actually traced
+
+
+def test_bare_delay_and_timeout_spellings_are_schedule_identical():
+    """`yield d` (the _Sleep lane) and `yield sim.timeout(d)` must produce
+    bit-identical event timelines: same times, same priorities, same
+    sequence numbers."""
+    def model(sim, use_bare):
+        def worker(period):
+            acc = 0.0
+            for _ in range(50):
+                if use_bare:
+                    yield period
+                else:
+                    yield sim.timeout(period)
+                acc += period
+            return acc
+
+        def waiter(p):
+            value = yield p
+            yield 1.5 if use_bare else sim.timeout(1.5)
+            return value
+
+        procs = [sim.process(worker(3.25)), sim.process(worker(7.5))]
+        tail = sim.process(waiter(procs[0]))
+        sim.run(until=tail)
+        return sim
+
+    timelines = []
+    for use_bare in (False, True):
+        sim = Simulator()
+        rec = []
+        sim.trace_dispatch = lambda w, p, s, rec=rec: rec.append((w, p, s))
+        s = model(sim, use_bare)
+        timelines.append((rec, s.now, s.events_processed))
+    assert timelines[0] == timelines[1]
+
+
+def test_interrupting_a_bare_delay_sleeper():
+    """Interrupt lands mid-sleep; the stale sleep entry is skipped like a
+    cancelled timeout (and accounted as cancelled)."""
+    sim = Simulator()
+    seen = []
+
+    def sleeper():
+        try:
+            yield 1000.0
+            seen.append("woke")
+        except Interrupt as i:
+            seen.append(("interrupted", sim.now, i.cause))
+            yield 5.0  # sleeping again after the interrupt must work
+            seen.append(("slept again", sim.now))
+
+    def interrupter(victim):
+        yield 40.0
+        victim.interrupt("move it")
+
+    victim = sim.process(sleeper())
+    sim.process(interrupter(victim))
+    sim.run()
+    assert seen == [("interrupted", 40.0, "move it"),
+                    ("slept again", 45.0)]
+    assert sim.events_cancelled == 1  # the abandoned sleep
+    assert victim.processed
