@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test lint smoke chaos bench figures figures-full scorecard experiments clean \
+.PHONY: install test lint smoke check chaos bench figures figures-full scorecard experiments clean \
 	perf perf-quick perf-update
 
 install:
@@ -21,10 +21,16 @@ lint:
 		     $(PY) -m compileall -q src tests benchmarks examples; }
 
 # Fast end-to-end sanity: build the model, run the quickstart example,
-# and gate the simulator fast path (engine microbench + fig5) against the
-# committed perf baseline.
-smoke: perf-quick
+# gate the simulator fast path (engine microbench + fig5) against the
+# committed perf baseline, and run the invariant-check suite.
+smoke: perf-quick check
 	PYTHONPATH=src $(PY) examples/quickstart.py
+
+# Invariant sanitizer suite (docs/CHECKING.md): the four applications plus
+# an ext7-style fault-injection scenario, with every repro.check checker
+# enabled; fails on any reported violation.
+check:
+	PYTHONPATH=src $(PY) -m repro.check
 
 # Fast-path performance gate (see docs/PERFORMANCE.md): times the engine
 # dispatch microbenchmark and the fig1/fig5/ext6/ext7 quick sweeps, then

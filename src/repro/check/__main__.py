@@ -1,0 +1,8 @@
+"""``python -m repro.check`` — run the invariant-check suite (make check)."""
+
+import sys
+
+from repro.check.runner import main
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,260 @@
+"""Linearizability oracles for the Section III-E atomics building blocks.
+
+These checkers model the *contract* of a distributed primitive and replay
+the observed operation stream against it:
+
+* :class:`LockOracle` — mutual exclusion and no-lost-unlock for
+  :class:`~repro.core.locks.RemoteSpinLock` (one-sided CAS/WRITE) and the
+  :class:`~repro.core.locks.RpcSpinLock` server.
+* :class:`SequencerOracle` — sequence values are dense and never repeat,
+  even under fault injection (the distributed log's space-reservation
+  contract).
+
+The remote-lock oracle needs no instrumentation on the release data path:
+release writes are recognized at the QP completion hook by their target
+word, learned from the acquire/release-start hooks.  The linearization
+point it uses for a handover is deliberately loose — a competitor's CAS
+may legitimately succeed after the release write *applied* at the
+responder but before the releaser's completion *returned* — so a release
+that is still in flight marks the previous holder as a pending handover
+instead of tripping mutual exclusion.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, insort
+
+from repro.verbs.types import Opcode
+
+__all__ = ["LockOracle", "SequencerOracle"]
+
+
+class _LockState:
+    __slots__ = ("holder", "releasing", "pending_handover")
+
+    def __init__(self):
+        self.holder = None        # current owner (lock handle or qp_id)
+        self.releasing = False    # holder has started releasing
+        #: Owners whose release outcome is still in flight after a
+        #: successor already acquired (requester-side completion lag).
+        self.pending_handover: set = set()
+
+
+class LockOracle:
+    """Mutual exclusion + no-lost-unlock, for remote and RPC spinlocks."""
+
+    name = "locks"
+
+    UNLOCKED = 0
+
+    def __init__(self, san):
+        self.san = san
+        self._states: dict = {}        # key -> _LockState
+        self._words: dict = {}         # (mr_id, offset) -> lock MemoryRegion
+        self._owner_by_qp: dict = {}   # ((mr_id, offset), qp_id) -> handle
+
+    def _state(self, key) -> _LockState:
+        st = self._states.get(key)
+        if st is None:
+            st = self._states[key] = _LockState()
+        return st
+
+    @staticmethod
+    def _word_key(lock) -> tuple:
+        return (lock.lock_mr.mr_id, lock.lock_offset)
+
+    def _learn(self, lock) -> tuple:
+        key = self._word_key(lock)
+        self._words[key] = lock.lock_mr
+        self._owner_by_qp[(key, lock.qp.qp_id)] = lock
+        return key
+
+    @staticmethod
+    def _owner_name(owner) -> str:
+        worker = getattr(owner, "worker", None)
+        return worker.name if worker is not None else str(owner)
+
+    # ------------------------------------------------- one-sided spinlock
+    def on_acquired(self, lock) -> None:
+        """A RemoteSpinLock CAS observed UNLOCKED and took the lock."""
+        key = self._learn(lock)
+        st = self._state(key)
+        if st.holder is None or st.holder is lock:
+            if st.holder is lock:
+                self.san.record(
+                    self.name, f"lock{key}", "acquire",
+                    f"{self._owner_name(lock)} re-acquired a lock it "
+                    "already holds (missing release)")
+            st.holder = lock
+            st.releasing = False
+            return
+        if st.releasing:
+            # Legitimate handover: the previous holder's release write
+            # applied at the responder; its completion is still in flight.
+            st.pending_handover.add(st.holder)
+        else:
+            self.san.record(
+                self.name, f"lock{key}", "acquire",
+                f"mutual exclusion violated: {self._owner_name(lock)} "
+                f"acquired while {self._owner_name(st.holder)} holds the "
+                "lock")
+        st.holder = lock
+        st.releasing = False
+
+    def on_release_start(self, lock) -> None:
+        key = self._learn(lock)
+        st = self._state(key)
+        if st.holder is lock:
+            st.releasing = True
+        elif st.holder is None and not st.pending_handover:
+            self.san.record(
+                self.name, f"lock{key}", "release",
+                f"{self._owner_name(lock)} released a lock it does not "
+                "hold")
+
+    def on_completed(self, qp, wr, comp) -> None:
+        """Route WRITE completions that target a known lock word."""
+        if wr.opcode is not Opcode.WRITE or wr.remote_mr is None \
+                or wr.total_length != 8:
+            return
+        key = (wr.remote_mr.mr_id, wr.remote_offset)
+        st = self._states.get(key)
+        if st is None:
+            return
+        owner = self._owner_by_qp.get((key, qp.qp_id))
+        if owner is None:
+            return
+        if comp.ok:
+            if owner in st.pending_handover:
+                st.pending_handover.discard(owner)
+            elif st.holder is owner and st.releasing:
+                st.holder = None
+                st.releasing = False
+            return
+        # Errored release write.
+        if owner in st.pending_handover:
+            # A successor already holds the lock, so whether this write
+            # landed is moot — no deadlock either way.
+            st.pending_handover.discard(owner)
+            return
+        if st.holder is owner and st.releasing:
+            mr = self._words.get(key)
+            if mr is not None and mr.read_u64(key[1]) == self.UNLOCKED:
+                # "Data may have landed" flush ambiguity: it did.
+                st.holder = None
+                st.releasing = False
+                return
+            if not wr.signaled:
+                # Fire-and-forget release failed with the word still
+                # LOCKED and nobody watching the completion: the unlock
+                # is lost and every other client spins forever.
+                self.san.record(
+                    self.name, f"lock{key}", "complete",
+                    f"lost unlock: unsignaled release by "
+                    f"{self._owner_name(owner)} failed "
+                    f"({comp.status.value}) with the lock word still "
+                    "locked — permanent deadlock")
+                st.holder = None     # resync; finalize must not re-report
+                st.releasing = False
+            # Signaled failure: the releaser observed it and is expected
+            # to retry — judged at finalize if it never succeeds.
+
+    # ---------------------------------------------------- RPC lock server
+    def on_rpc_granted(self, key, owner_qp_id: int) -> None:
+        st = self._state(key)
+        if st.holder is not None and st.holder != owner_qp_id:
+            self.san.record(
+                self.name, f"lock{key}", "grant",
+                f"RPC lock granted to qp{owner_qp_id} while held by "
+                f"qp{st.holder}")
+        st.holder = owner_qp_id
+        st.releasing = False
+
+    def on_rpc_released(self, key, requester_qp_id: int, holder,
+                        accepted: bool) -> None:
+        st = self._state(key)
+        if accepted:
+            if st.holder is None or st.holder != requester_qp_id:
+                held = "free" if st.holder is None else f"qp{st.holder}"
+                self.san.record(
+                    self.name, f"lock{key}", "release",
+                    f"unlock accepted from non-holder qp{requester_qp_id} "
+                    f"(lock is {held})")
+            st.holder = None
+            st.releasing = False
+        # A rejected unlock is the server doing its job: no violation.
+
+    # -------------------------------------------------------------- final
+    def finalize(self) -> None:
+        for key, st in self._states.items():
+            if not st.releasing:
+                continue
+            mr = self._words.get(key)
+            if mr is not None and mr.read_u64(key[1]) != self.UNLOCKED:
+                self.san.record(
+                    self.name, f"lock{key}", "finalize",
+                    f"release by {self._owner_name(st.holder)} started but "
+                    "never completed: lock word still locked after drain")
+
+
+class SequencerOracle:
+    """Sequence reservations are dense and never repeat.
+
+    Each successful ``next(n)`` reports the half-open range
+    ``[first, first + n)``.  Ranges must never overlap (a repeat breaks
+    the log's exclusive-space contract immediately) and, once the run has
+    drained, their union must be a single contiguous span (a gap means a
+    reservation was paid for at the counter but lost by the client —
+    exactly what an ignored errored completion produces).  Density is a
+    finalize-only check because completions are *observed* out of counter
+    order across clients.
+    """
+
+    name = "sequencer"
+
+    def __init__(self, san):
+        self.san = san
+        self._ranges: dict = {}    # key -> sorted list of (lo, hi) merged
+        self._owners: dict = {}    # key -> representative owner (messages)
+
+    def on_sequence(self, key, first, n: int, owner) -> None:
+        self._owners.setdefault(key, owner)
+        if not isinstance(first, int):
+            self.san.record(
+                self.name, f"seq{key}", "next",
+                f"non-integer sequence value {first!r} handed out — an "
+                "errored completion's value leaked through")
+            return
+        lo, hi = first, first + n
+        ranges = self._ranges.setdefault(key, [])
+        i = bisect_left(ranges, (lo, hi))
+        prev_hi = ranges[i - 1][1] if i > 0 else None
+        next_lo = ranges[i][0] if i < len(ranges) else None
+        if (prev_hi is not None and prev_hi > lo) \
+                or (next_lo is not None and next_lo < hi):
+            self.san.record(
+                self.name, f"seq{key}", "next",
+                f"repeated sequence values: [{lo}, {hi}) overlaps an "
+                "already-issued reservation")
+            return
+        # Insert, merging with touching neighbours to keep the list tiny.
+        if prev_hi == lo and next_lo == hi:
+            merged = (ranges[i - 1][0], ranges[i][1])
+            ranges[i - 1:i + 1] = [merged]
+        elif prev_hi == lo:
+            ranges[i - 1] = (ranges[i - 1][0], hi)
+        elif next_lo == hi:
+            ranges[i] = (lo, ranges[i][1])
+        else:
+            insort(ranges, (lo, hi))
+
+    def finalize(self) -> None:
+        for key, ranges in self._ranges.items():
+            if len(ranges) > 1:
+                gaps = ", ".join(
+                    f"[{a_hi}, {b_lo})"
+                    for (_, a_hi), (b_lo, _) in zip(ranges, ranges[1:]))
+                self.san.record(
+                    self.name, f"seq{key}", "finalize",
+                    f"sequence space not dense: values {gaps} were "
+                    "reserved at the counter but never handed out")

@@ -1,0 +1,223 @@
+"""The ``make check`` suite: every checker over the four apps + chaos.
+
+Five scenarios, each built fresh with a :class:`~repro.check.Sanitizer`
+installed *before* the workload is constructed (so constructors can
+register claims), run to completion, drained, and finalized:
+
+* ``hashtable`` — the disaggregated hashtable's Zipf write storm
+  (remote spinlocks on hot blocks, consolidated flushes).  Strict
+  overlap stays off: the cold path is deliberately last-writer-wins.
+* ``shuffle`` — the distributed shuffle (disjoint inbound partitions:
+  strict overlap on).
+* ``join`` — the distributed hash join, strict overlap on.
+* ``dlog`` — the distributed log: FAA space reservation feeds the
+  sequencer oracle; reserved extents are disjoint, strict overlap on.
+* ``chaos`` — ext7-style fault injection: remote spinlock and remote
+  sequencer clients hammered by seeded i.i.d. loss windows and a
+  blackhole, exercising QP error/flush/reconnect under every checker.
+
+Exit status 0 iff every scenario reports zero violations (the CI
+contract: ``make check``).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import build
+from repro.check.report import CheckReport
+from repro.check.sanitizer import Sanitizer
+
+__all__ = ["SCENARIOS", "main", "run_all", "run_scenario"]
+
+
+# ----------------------------------------------------------------- scenarios
+def _scenario_hashtable() -> Sanitizer:
+    from repro.apps.hashtable import DisaggregatedHashTable, FrontEndConfig
+
+    sim, cluster, ctx = build(machines=4)
+    san = Sanitizer(sim)          # hashtable writes are last-writer-wins:
+    table = DisaggregatedHashTable(          # strict overlap stays off
+        ctx, 2, FrontEndConfig(), n_keys=1024, hot_fraction=0.125,
+        block_entries=16, seed=7)
+    table.run_throughput(measure_ns=800_000, warmup_ns=200_000)
+    sim.run()                     # drain fire-and-forget lock releases
+    return san
+
+
+def _scenario_shuffle() -> Sanitizer:
+    from repro.apps.shuffle import DistributedShuffle, ShuffleConfig
+
+    sim, cluster, ctx = build(machines=4)
+    san = Sanitizer(sim, strict_overlap=True)
+    shuffle = DistributedShuffle(
+        ctx, 4, ShuffleConfig(strategy="sgl", batch_size=8),
+        entries_per_executor=512, seed=1)
+    shuffle.run()
+    sim.run()
+    return san
+
+
+def _scenario_join() -> Sanitizer:
+    from repro.apps.join import DistributedJoin, JoinConfig
+
+    sim, cluster, ctx = build(machines=8)
+    san = Sanitizer(sim, strict_overlap=True)
+    join = DistributedJoin(ctx, JoinConfig(executors=4, batch=16),
+                           tuples_per_relation=2048, seed=3)
+    result = join.run()
+    if result.matches != join.reference_matches():
+        raise AssertionError("join produced wrong matches; sanitizer hooks "
+                             "must not perturb the workload")
+    sim.run()
+    return san
+
+
+def _scenario_dlog() -> Sanitizer:
+    from repro.apps.dlog import DistributedLog, LogConfig, TransactionEngine
+
+    machines = 4
+    sim, cluster, ctx = build(machines=machines)
+    san = Sanitizer(sim, strict_overlap=True)
+    log = DistributedLog(ctx, machine=0, config=LogConfig())
+    fe_machines = [m for m in range(machines) if m != 0]
+    engines = []
+    for i in range(4):
+        socket = i % ctx.params.sockets_per_machine
+        machine = fe_machines[(i // 2) % len(fe_machines)]
+        engines.append(TransactionEngine(log, i, machine, socket))
+
+    def drive(eng):
+        for _ in range(8):
+            yield from eng.append_batch()
+
+    procs = [sim.process(drive(e), name=f"check.dlog{e.engine_id}")
+             for e in engines]
+    for p in procs:
+        sim.run(until=p)
+    sim.run()
+    return san
+
+
+def _scenario_chaos() -> Sanitizer:
+    """Ext7-style fault soak: locks + sequencers under loss windows."""
+    from repro.core import RemoteSequencer, RemoteSpinLock
+    from repro.hw import FaultInjector
+    from repro.sim import make_rng
+
+    from repro.hw import HardwareParams
+
+    n_clients = 3
+    # A small retry budget makes loss windows actually exhaust retries
+    # (QP -> ERR -> flush -> reconnect) instead of riding them out.
+    sim, cluster, ctx = build(machines=n_clients + 1,
+                              params=HardwareParams(retry_cnt=2))
+    san = Sanitizer(sim, strict_overlap=True)
+    lock_mr = ctx.register(0, 4096)
+    counter_mr = ctx.register(0, 4096)
+    injector = FaultInjector(sim, rng=make_rng(1234))
+
+    from repro.verbs import Worker
+
+    in_cs, max_in_cs = [0], [0]
+    seqs, locks = [], []
+
+    def client(i: int):
+        m = i + 1
+        w = Worker(ctx, m, name=f"chaos.c{m}")
+        lock_qp = ctx.create_qp(m, 0)
+        seq_qp = ctx.create_qp(m, 0)
+        scratch = ctx.register(m, 4096)
+        lk = RemoteSpinLock(w, lock_qp, scratch, lock_mr)
+        sq = RemoteSequencer(w, seq_qp, counter_mr)
+        locks.append(lk)
+        seqs.append(sq)
+        reserve = (1, 3, 2, 5, 1, 4)
+        for k in range(24):
+            yield from lk.acquire()
+            in_cs[0] += 1
+            max_in_cs[0] = max(max_in_cs[0], in_cs[0])
+            yield sim.timeout(200)
+            in_cs[0] -= 1
+            yield from lk.release()
+            yield from sq.next(n=reserve[k % len(reserve)])
+
+    # Staggered loss windows on every client port + one blackhole burst.
+    def schedule_faults():
+        for i in range(n_clients):
+            port = cluster[i + 1].port(0)
+            for k in range(4):
+                at = 20_000.0 + 150_000.0 * i + 450_000.0 * k
+                sim.timeout(at).add_callback(
+                    lambda _e, p=port: injector.drop_port(
+                        p, prob=0.9, duration_ns=120_000.0))
+        sim.timeout(1_000_000.0).add_callback(
+            lambda _e: injector.blackhole_port(cluster[1].port(0),
+                                              duration_ns=200_000.0))
+
+    schedule_faults()
+    procs = [sim.process(client(i), name=f"check.chaos{i}")
+             for i in range(n_clients)]
+    for p in procs:
+        sim.run(until=p)
+    sim.run()
+
+    if max_in_cs[0] != 1:
+        raise AssertionError(f"workload-level mutual exclusion broken: "
+                             f"{max_in_cs[0]} clients in the CS")
+    if not any(lk.transport_errors for lk in locks) \
+            and not any(sq.transport_errors for sq in seqs):
+        raise AssertionError("chaos scenario injected no transport errors; "
+                             "the fault schedule has gone stale")
+    return san
+
+
+SCENARIOS = {
+    "hashtable": _scenario_hashtable,
+    "shuffle": _scenario_shuffle,
+    "join": _scenario_join,
+    "dlog": _scenario_dlog,
+    "chaos": _scenario_chaos,
+}
+
+
+# ----------------------------------------------------------------- driver
+def run_scenario(name: str) -> CheckReport:
+    """Run one scenario start-to-finish; returns its finalized report."""
+    san = SCENARIOS[name]()
+    return san.finalize()
+
+
+def run_all(names=None, out=sys.stdout) -> CheckReport:
+    """Run the suite; prints one line per scenario, returns merged report."""
+    merged = CheckReport()
+    for name in (names or SCENARIOS):
+        report = run_scenario(name)
+        verdict = "ok" if report.ok else f"{report.total} violation(s)"
+        print(f"  check:{name:<10} {verdict}", file=out)
+        if not report.ok:
+            print(report.render(), file=out)
+        merged.merge(report)
+    merged.finalized = True
+    return merged
+
+
+def main(argv=None) -> int:
+    names = argv if argv else None
+    unknown = set(names or ()) - set(SCENARIOS)
+    if unknown:
+        print(f"unknown scenario(s): {sorted(unknown)}; "
+              f"available: {list(SCENARIOS)}", file=sys.stderr)
+        return 2
+    report = run_all(names)
+    if report.ok:
+        print(f"check suite clean: {len(names or SCENARIOS)} scenario(s), "
+              "0 violations")
+        return 0
+    print(f"CHECK SUITE FAILED: {report.total} violation(s) "
+          f"({dict(report.counts)})")
+    return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main(sys.argv[1:]))

@@ -85,6 +85,9 @@ class IoConsolidator:
         self.flushes = 0
         self.timeout_flushes = 0
         self._daemon = None
+        check = worker.sim.check
+        if check is not None:
+            check.register_consolidator(self)
 
     # ------------------------------------------------------------------ write
     def write(self, window_offset: int, data: bytes | None,
@@ -140,6 +143,17 @@ class IoConsolidator:
             move_data=self.move_data)
         comp = yield from self.worker.execute(self.qp, wr)
         self.flushes += 1
+        # Drop the tracking entry once clean: a hot window has room for
+        # millions of blocks and keeping a _Block per block ever touched
+        # grows the dict (and dirty_blocks()/lease scans) without bound.
+        # A write absorbed while the flush was in flight re-dirtied this
+        # same object, so only delete when it is still clean and still the
+        # registered entry for its slot.
+        if block.pending == 0 and self._blocks.get(block_index) is block:
+            del self._blocks[block_index]
+        check = self.worker.sim.check
+        if check is not None:
+            check.on_consolidator_flush(self)
         return comp
 
     def flush_all(self) -> Generator:

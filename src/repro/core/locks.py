@@ -172,6 +172,9 @@ class RemoteSpinLock:
             return False
         if comp.value == self.UNLOCKED:
             self.acquisitions += 1
+            check = self.worker.sim.check
+            if check is not None:
+                check.on_lock_acquired(self)
             return True
         self.failed_attempts += 1
         return False
@@ -187,6 +190,13 @@ class RemoteSpinLock:
                 yield self.worker.sim.timeout(
                     self.backoff.delay_ns(attempt, self.rng))
 
+    def _path_unreliable(self) -> bool:
+        """True when a fire-and-forget write could silently vanish: the QP
+        is not in RTS, or either endpoint port is currently lossy."""
+        qp = self.qp
+        return (qp.state is not QPState.RTS
+                or qp.local_port.lossy or qp.remote_port.lossy)
+
     def release(self) -> Generator:
         """RDMA-write 0 into the lock word (one-sided release).
 
@@ -194,15 +204,24 @@ class RemoteSpinLock:
         waited on (RC ordering on the QP keeps it ahead of this client's
         next CAS), which is how real remote locks keep the release off the
         critical path.  Set ``release_signaled=True`` to wait it out.
+
+        When the path is unreliable (QP errored, or either port lossy) the
+        write is forced signaled regardless: an unsignaled unlock that dies
+        in transit is never retried, leaving the word locked forever and
+        every other client deadlocked.
         """
+        check = self.worker.sim.check
+        if check is not None:
+            check.on_lock_release_start(self)
         while True:
+            signaled = self.release_signaled or self._path_unreliable()
             wr = WorkRequest(Opcode.WRITE,
                              sgl=[Sge(self.scratch_mr, 0, 8)],
                              remote_mr=self.lock_mr,
                              remote_offset=self.lock_offset,
-                             signaled=self.release_signaled)
+                             signaled=signaled)
             ev = yield from self.worker.post(self.qp, wr)
-            if not self.release_signaled:
+            if not signaled:
                 return
             comp = yield from self.worker.wait(ev)
             if comp.ok:
@@ -237,35 +256,65 @@ class RpcSpinLock:
     @staticmethod
     def make_server(ctx: RdmaContext, machine: int, socket: int = 0,
                     fair: bool = False) -> RpcServer:
-        """An RPC server running the lock protocol."""
+        """An RPC server running the lock protocol.
+
+        The server remembers the holder's identity (the granting request's
+        reply-QP id) and answers an ``unlock`` from anyone else with
+        ``not_holder`` instead of freeing the lock — a stray or duplicated
+        unlock must not break mutual exclusion for the real holder.
+        """
         server = RpcServer(ctx, machine, socket, name=f"lockserver.m{machine}")
-        state = {"free": True}
+        state = {"free": True, "holder": None}
         waiters: list[RpcRequest] = []
+        key = ("rpc-lock", server.name)
+
+        def grant(request) -> None:
+            state["free"] = False
+            state["holder"] = request.reply_qp.qp_id
+            check = ctx.sim.check
+            if check is not None:
+                check.on_rpc_lock_granted(key, state["holder"])
+
+        def unlock_accepted(request) -> bool:
+            holder = state["holder"]
+            accepted = holder == request.reply_qp.qp_id
+            check = ctx.sim.check
+            if check is not None:
+                check.on_rpc_lock_released(key, request.reply_qp.qp_id,
+                                           holder, accepted)
+            return accepted
 
         def polling_handler(body, request):
             if body == "lock":
                 if state["free"]:
-                    state["free"] = False
+                    grant(request)
                     return "granted"
                 return "busy"
             if body == "unlock":
+                if not unlock_accepted(request):
+                    return "not_holder"
                 state["free"] = True
+                state["holder"] = None
                 return "ok"
             raise ValueError(f"unknown lock op: {body!r}")
 
         def fair_handler(body, request) -> Generator:
             if body == "lock":
                 if state["free"]:
-                    state["free"] = False
+                    grant(request)
                     return "granted"
                 waiters.append(request)
                 return DEFER
             if body == "unlock":
+                if not unlock_accepted(request):
+                    return "not_holder"
                 if waiters:
                     nxt = waiters.pop(0)
+                    grant(nxt)
                     yield from server.respond(nxt, "granted")
                 else:
                     state["free"] = True
+                    state["holder"] = None
                 return "ok"
             raise ValueError(f"unknown lock op: {body!r}")
 
@@ -283,4 +332,6 @@ class RpcSpinLock:
             self.busy_polls += 1
 
     def release(self) -> Generator:
-        yield from self.channel.call(self.worker, "unlock")
+        reply = yield from self.channel.call(self.worker, "unlock")
+        if reply != "ok":
+            raise RuntimeError(f"unlock rejected by lock server: {reply!r}")

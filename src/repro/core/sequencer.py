@@ -17,7 +17,7 @@ from typing import Generator
 
 from repro.core.rpc import RpcChannel, RpcServer
 from repro.sim import Simulator
-from repro.verbs import MemoryRegion, QueuePair, RdmaContext, Worker
+from repro.verbs import MemoryRegion, QPState, QueuePair, RdmaContext, Worker
 
 __all__ = ["LocalSequencer", "RemoteSequencer", "RpcSequencer"]
 
@@ -53,6 +53,9 @@ class LocalSequencer:
         first = self.value
         self.value += n
         self.issued += 1
+        check = self.sim.check
+        if check is not None:
+            check.on_sequence(self, first, n, worker.name)
         return first
 
 
@@ -68,18 +71,45 @@ class RemoteSequencer:
         self.counter_mr = counter_mr
         self.counter_offset = counter_offset
         self.issued = 0
+        self.transport_errors = 0
+
+    def _recover(self) -> Generator:
+        """Bring the QP back after a transport failure.
+
+        The loss model drops requests before the responder executes them,
+        so an errored FAA never consumed counter values — it is safe to
+        reissue once the QP has drained its flushes and reconnected.
+        """
+        qp = self.qp
+        if qp.state is not QPState.ERR:
+            return
+        while qp.outstanding:  # flushes complete on their own; just wait
+            yield self.worker.sim.timeout(self.worker.params.retrans_timeout_ns)
+        yield self.worker.ctx.reconnect_qp(qp)
 
     def next(self, n: int = 1) -> Generator:
         """Reserve ``n`` consecutive values with one FAA; returns the first.
 
         Multi-value reservation is the distributed log's consecutive-space
         reserve (Section IV-E): one round trip regardless of batch size.
+        A transport failure is retried after reconnecting — an errored
+        completion carries no value, and returning it would hand the
+        caller garbage instead of a reserved range.
         """
         if n < 1:
             raise ValueError(f"n must be >= 1, got {n}")
-        comp = yield from self.worker.faa(
-            self.qp, self.counter_mr, self.counter_offset, add=n)
+        while True:
+            comp = yield from self.worker.faa(
+                self.qp, self.counter_mr, self.counter_offset, add=n)
+            if comp.ok:
+                break
+            self.transport_errors += 1
+            yield from self._recover()
         self.issued += 1
+        check = self.worker.sim.check
+        if check is not None:
+            check.on_sequence((self.counter_mr.mr_id, self.counter_offset),
+                              comp.value, n, self.worker.name)
         return comp.value
 
 
@@ -103,6 +133,10 @@ class RpcSequencer:
                 raise ValueError(f"sequencer request for {n} values")
             first = state["value"]
             state["value"] += n
+            check = ctx.sim.check
+            if check is not None:
+                check.on_sequence(("rpc-seq", server.name), first, n,
+                                  request.reply_qp.qp_id)
             return first
 
         server.start(handler)

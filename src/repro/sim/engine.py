@@ -236,7 +236,10 @@ class Event:
             return False
         self._cancelled = True
         self.callbacks = None  # free waiter closures NOW, not at fire time
-        self.sim.events_cancelled += 1
+        sim = self.sim
+        sim.events_cancelled += 1
+        if sim.check is not None:
+            sim.check.on_cancel(self)
         return True
 
     # -- internal ---------------------------------------------------------
@@ -555,7 +558,7 @@ class Simulator:
 
     __slots__ = ("now", "_heap", "_seq", "_crashed", "events_processed",
                  "events_cancelled", "_timeout_pool", "_event_pool",
-                 "trace_dispatch")
+                 "trace_dispatch", "check")
 
     #: Class-wide dispatched-event counter (monotonic across instances).
     total_events: int = 0
@@ -574,6 +577,11 @@ class Simulator:
         #: Dispatch takes a slower loop while set; leave ``None`` in
         #: production runs.
         self.trace_dispatch: Optional[Callable[[float, int, int], None]] = None
+        #: Invariant sanitizer slot (see :mod:`repro.check`).  ``None`` by
+        #: default: every instrumented layer reads this attribute and the
+        #: disabled cost is a single branch per hook site.  Bound to a
+        #: local at ``run()`` entry — install before running.
+        self.check = None
 
     # -- event construction ------------------------------------------------
     def event(self) -> Event:
@@ -657,6 +665,8 @@ class Simulator:
         if when < self.now:
             raise SimulationError("event scheduled in the past")
         self.now = when
+        if self.check is not None:
+            self.check.on_dispatch(when)
         if type(event) is _Sleep:
             event.proc._step(event, throw=False)
         else:
@@ -715,6 +725,7 @@ class Simulator:
         tpool = self._timeout_pool
         epool = self._event_pool
         trace = self.trace_dispatch
+        chk = self.check
         dispatched = 0
         # Pause the cyclic collector for the duration of the dispatch loop:
         # event churn allocates heavily but almost everything dies by
@@ -753,6 +764,8 @@ class Simulator:
                         self.now = when
                         if trace is not None:
                             trace(when, _prio, _seq)
+                        if chk is not None:
+                            chk.on_dispatch(when)
                         dispatched += 1
                         p._waiting_on = None
                         try:
@@ -799,6 +812,8 @@ class Simulator:
                     self.now = when
                     if trace is not None:
                         trace(when, _prio, _seq)
+                    if chk is not None:
+                        chk.on_dispatch(when)
                     callbacks = event.callbacks
                     event.callbacks = None
                     event._processed = True
@@ -844,6 +859,8 @@ class Simulator:
                         self.now = when
                         if trace is not None:
                             trace(when, _prio, _seq)
+                        if chk is not None:
+                            chk.on_dispatch(when)
                         dispatched += 1
                         p._waiting_on = None
                         try:
@@ -888,6 +905,8 @@ class Simulator:
                     self.now = when
                     if trace is not None:
                         trace(when, _prio, _seq)
+                    if chk is not None:
+                        chk.on_dispatch(when)
                     callbacks = event.callbacks
                     event.callbacks = None
                     event._processed = True

@@ -94,6 +94,9 @@ class SLOMetrics:
         slo.retries += retries
         if status != "success":
             slo.errors[status] += 1
+            check = self.sim.check
+            if check is not None:
+                check.on_slo_record(tenant, slo)
             return
         if slo.ops == 0:
             slo.first_ns = self.sim.now - latency_ns
@@ -102,9 +105,16 @@ class SLOMetrics:
         slo.latencies.append(latency_ns)
         slo.by_opcode[opcode] += 1
         slo.last_ns = self.sim.now
+        check = self.sim.check
+        if check is not None:
+            check.on_slo_record(tenant, slo)
 
     def record_reject(self, tenant: str, reason: str) -> None:
-        self.tenants[tenant].rejects[reason] += 1
+        slo = self.tenants[tenant]
+        slo.rejects[reason] += 1
+        check = self.sim.check
+        if check is not None:
+            check.on_slo_record(tenant, slo)
 
     # -- reporting ----------------------------------------------------------
     def snapshot(self) -> dict[str, dict]:

@@ -207,6 +207,9 @@ class QoSScheduler:
             bucket = self._buckets[tenant]
             if bucket is not None:
                 bucket.consume(sim.now)
+                check = sim.check
+                if check is not None:
+                    check.on_bucket_consume(tenant, bucket)
             if self.policy != "fifo":
                 # Virtual time = start tag of the op entering service.
                 self._vtime = max(self._vtime, req.tag)

@@ -172,6 +172,9 @@ class QueuePair:
         if self.state is QPState.RTS:
             self.state = QPState.ERR
             self.fatal_errors += 1
+            check = self.sim.check
+            if check is not None:
+                check.on_qp_state(self, QPState.RTS, QPState.ERR)
 
     def _flush_completion(self, wr: WorkRequest) -> Completion:
         self.flushed_wrs += 1
@@ -183,8 +186,13 @@ class QueuePair:
         """ibverbs semantics: a WR posted to an ERR-state QP never reaches
         the hardware — it completes immediately with WR_FLUSH_ERR."""
         self.posted += 1
+        check = self.sim.check
+        if check is not None:
+            check.on_posted(self, wr)
         self.completed += 1
         comp = self._flush_completion(wr)
+        if check is not None:
+            check.on_completed(self, wr, comp)
         if wr.signaled:
             self.cq.push(comp)
         done = self.sim.event()
@@ -203,6 +211,9 @@ class QueuePair:
                 "reap their completions before reset()")
         self.state = QPState.RESET
         self._last_completion = None
+        check = self.sim.check
+        if check is not None:
+            check.on_qp_state(self, QPState.ERR, QPState.RESET)
 
     def to_rts(self) -> None:
         """RESET -> RTS (service restored)."""
@@ -212,6 +223,9 @@ class QueuePair:
                 f"(state={self.state.value})")
         self.state = QPState.RTS
         self.reconnects += 1
+        check = self.sim.check
+        if check is not None:
+            check.on_qp_state(self, QPState.RESET, QPState.RTS)
 
     # ------------------------------------------------------------------ API
     def post_send(self, wr: WorkRequest) -> Event:
@@ -224,6 +238,9 @@ class QueuePair:
         done = self.sim.event()
         prev, self._last_completion = self._last_completion, done
         self.posted += 1
+        check = self.sim.check
+        if check is not None:
+            check.on_posted(self, wr)
         self.sim.process(self._execute(wr, done, fetch_wqe=True, prev=prev),
                          name=self._proc_names[wr.opcode])
         return done
@@ -241,6 +258,10 @@ class QueuePair:
             return [self._flush_post(wr) for wr in wrs]
         self.posted += len(wrs)
         sim = self.sim
+        check = sim.check
+        if check is not None:
+            for wr in wrs:
+                check.on_posted(self, wr)
         events = [sim.event() for _ in wrs]
         prev, self._last_completion = self._last_completion, events[-1]
         self.sim.process(self._execute_batch(wrs, events, prev),
@@ -407,6 +428,9 @@ class QueuePair:
             wr_id=wr.wr_id, opcode=opcode, status=status,
             timestamp_ns=sim.now, value=value,
             byte_len=byte_len, retries=retries_done)
+        check = sim.check
+        if check is not None:
+            check.on_completed(self, wr, completion)
         if wr.signaled:
             self.cq.push(completion)
         done.succeed(completion)

@@ -92,6 +92,9 @@ class RdmaContext:
         # (Section II-B2/III-D); the devices repartition accordingly.
         lm.rnic.qp_attached()
         rm.rnic.qp_attached()
+        check = self.sim.check
+        if check is not None:
+            check.on_qp_created(qp)
         return qp
 
     def destroy_qp(self, qp: QueuePair) -> None:
@@ -109,6 +112,9 @@ class RdmaContext:
         for rnic in (qp.local_machine.rnic, qp.remote_machine.rnic):
             rnic.qp_detached()
             rnic.qp_cache.invalidate(qp.qp_id)
+        check = self.sim.check
+        if check is not None:
+            check.on_qp_destroyed(qp)
 
     def reconnect_qp(self, qp: QueuePair,
                      local_port: Optional[int] = None,

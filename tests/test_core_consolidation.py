@@ -169,3 +169,43 @@ def test_consolidation_reduces_rdma_ops(rig):
     run(sim, client())
     assert cons.writes_absorbed == 64
     assert cons.flushes == 8
+
+
+# --------------------------------------------------------- growth regression
+
+def test_blocks_dict_pruned_after_flush(rig):
+    """Regression: flushed-clean blocks must leave ``_blocks`` — the dict
+    must not grow with every block ever dirtied."""
+    sim, *_ = rig
+    cons = make(rig, theta=4)
+
+    def client():
+        # Touch all 8 blocks of the window, several rounds each: every
+        # round flushes every block once.
+        for _round in range(16):
+            for b in range(8):
+                for k in range(4):
+                    yield from cons.write(b * 1024 + 32 * k, b"x" * 32)
+
+    run(sim, client())
+    assert cons.flushes == 16 * 8
+    assert cons._blocks == {}            # nothing retained once clean
+    assert cons.dirty_blocks() == []
+
+
+def test_partial_dirty_block_survives_flush_prune(rig):
+    sim, *_ = rig
+    cons = make(rig, theta=4)
+
+    def client():
+        for k in range(4):
+            yield from cons.write(32 * k, b"a" * 32)   # block 0 flushes
+        yield from cons.write(1024, b"b" * 32)          # block 1 dirty
+    run(sim, client())
+    assert list(cons._blocks) == [1]
+    assert cons.dirty_blocks() == [1]
+
+    def drain():
+        yield from cons.flush_all()
+    run(sim, drain())
+    assert cons._blocks == {}

@@ -246,3 +246,76 @@ def test_rpc_lock_mutual_exclusion_and_fifo_handover():
     assert max_in_cs[0] == 1
     assert len(order) == 15
     assert sorted(order.count(i) for i in range(3)) == [5, 5, 5]
+
+
+# ------------------------------------------------------- fault regressions
+
+def test_remote_lock_release_survives_dead_link():
+    """Regression: a fire-and-forget release on an unreliable path must be
+    forced signaled and retried — a silently lost unlock deadlocks every
+    other client forever."""
+    from repro.hw import FaultInjector, HardwareParams
+
+    sim, cluster, ctx = build(machines=3,
+                              params=HardwareParams(retry_cnt=2))
+    lock_mr = ctx.register(0, 4096)
+    injector = FaultInjector(sim)
+    locks = []
+    for m in (1, 2):
+        w = Worker(ctx, m, name=f"c{m}")
+        qp = ctx.create_qp(m, 0)
+        scratch = ctx.register(m, 4096)
+        locks.append(RemoteSpinLock(w, qp, scratch, lock_mr))
+    done = []
+
+    def holder():
+        lk = locks[0]
+        yield from lk.acquire()
+        # The link dies while we hold the lock; release() must notice the
+        # unreliable path, go signaled, and rewrite until the 0 lands.
+        injector.blackhole_port(lk.qp.local_port, duration_ns=300_000)
+        yield sim.timeout(1_000)
+        yield from lk.release()
+        done.append("released")
+
+    def waiter():
+        lk = locks[1]
+        yield sim.timeout(5_000)
+        yield from lk.acquire()
+        done.append("acquired")
+        yield from lk.release()
+
+    p1 = sim.process(holder())
+    p2 = sim.process(waiter())
+    sim.run(until=p1)
+    sim.run(until=p2)
+    sim.run()
+    assert done == ["released", "acquired"]
+    assert locks[0].transport_errors > 0
+    assert lock_mr.read_u64(0) == RemoteSpinLock.UNLOCKED
+
+
+@pytest.mark.parametrize("fair", [False, True])
+def test_rpc_lock_rejects_foreign_unlock(fair):
+    """Regression: an unlock from a client that does not hold the lock
+    must be refused — it used to silently free the real holder's lock."""
+    sim, cluster, ctx = build(machines=3)
+    server = RpcSpinLock.make_server(ctx, machine=0, fair=fair)
+    c1 = RpcSpinLock(server.connect(1), Worker(ctx, 1))
+    c2 = RpcSpinLock(server.connect(2), Worker(ctx, 2))
+    outcome = {}
+
+    def run():
+        yield from c1.acquire()
+        try:
+            yield from c2.release()
+        except RuntimeError as exc:
+            outcome["rejected"] = str(exc)
+        yield from c1.release()      # the real holder still releases fine
+        yield from c2.acquire()      # and the lock still hands over
+        yield from c2.release()
+
+    sim.run(until=sim.process(run()))
+    server.stop()
+    assert "not_holder" in outcome["rejected"]
+    assert c1.acquisitions == 1 and c2.acquisitions == 1

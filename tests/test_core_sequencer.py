@@ -150,3 +150,35 @@ def test_rpc_sequencer_multi_reserve():
     a, b = sim.run(until=sim.process(client()))
     server.stop()
     assert (a, b) == (0, 8)
+
+
+# ------------------------------------------------------- fault regression
+
+def test_remote_sequencer_retries_through_faults():
+    """Regression: ``next`` must not hand out an errored completion's
+    value (None) — it reconnects and reissues the FAA instead."""
+    from repro.hw import FaultInjector, HardwareParams
+    from repro.sim import make_rng
+
+    sim, cluster, ctx = build(machines=2,
+                              params=HardwareParams(retry_cnt=2))
+    counter_mr = ctx.register(0, 4096)
+    w = Worker(ctx, 1, name="seq-client")
+    qp = ctx.create_qp(1, 0)
+    seq = RemoteSequencer(w, qp, counter_mr)
+    FaultInjector(sim, rng=make_rng(5)).drop_port(
+        qp.local_port, prob=0.8, duration_ns=400_000)
+    out = []
+
+    def client():
+        for _ in range(30):
+            out.append((yield from seq.next(n=2)))
+
+    sim.run(until=sim.process(client()))
+    assert all(isinstance(v, int) for v in out)
+    # An errored FAA never executed at the responder, so the reissues
+    # leave the reserved space dense: exactly 30 disjoint 2-wide extents.
+    assert sorted(out) == list(range(0, 60, 2))
+    assert counter_mr.read_u64(0) == 60
+    assert seq.transport_errors > 0
+    assert qp.state.value == "rts"
