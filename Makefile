@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test lint smoke check chaos bench figures figures-full scorecard experiments clean \
+.PHONY: install test lint smoke check chaos bench microbench figures figures-full scorecard experiments clean \
 	perf perf-quick perf-update
 
 install:
@@ -39,8 +39,12 @@ check:
 perf:
 	PYTHONPATH=src $(PY) -m repro.bench.perf check
 
+# --quick gates the starred scenarios; the second line additionally
+# proves the parallel campaign runner merges deterministically (serial
+# vs --jobs 2 figure digests must match; exits non-zero otherwise).
 perf-quick:
 	PYTHONPATH=src $(PY) -m repro.bench.perf check --quick
+	PYTHONPATH=src $(PY) -m repro.bench.parallel fig5 --jobs 2
 
 # Refresh the committed baseline (new machine, or a deliberate model
 # change that moved schedules).
@@ -53,14 +57,20 @@ perf-update:
 chaos:
 	PYTHONPATH=src $(PY) -m pytest tests/test_reliability.py tests/test_hw_faults.py -q
 
+# Full figure campaign, fanned out over every core with the point cache
+# on (.bench-cache/) — merged tables are bit-identical to --jobs 1.
 bench:
+	$(PY) -m repro.bench all --jobs auto
+
+# pytest-benchmark microbenchmarks of individual model layers.
+microbench:
 	$(PY) -m pytest benchmarks/ --benchmark-only
 
 figures:
-	$(PY) -m repro.bench all
+	$(PY) -m repro.bench all --jobs auto
 
 figures-full:
-	$(PY) -m repro.bench all --full
+	$(PY) -m repro.bench all --full --jobs auto
 
 scorecard:
 	$(PY) -m repro.bench scorecard

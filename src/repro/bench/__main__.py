@@ -1,7 +1,17 @@
-"""CLI: ``python -m repro.bench <target> [--full]`` or ``repro-bench``.
+"""CLI: ``python -m repro.bench <target> [--full] [--jobs N]``.
 
 Targets regenerate the paper's tables and figures; ``all`` runs every one
 of them, ``summary`` reports the headline application speedups.
+
+Sweep targets run as *point campaigns* (see :mod:`repro.bench.parallel`):
+``--jobs N`` fans the sweep points out over N worker processes and
+``--jobs auto`` uses every core; the merged tables are bit-identical to a
+serial run.  Point results are cached under ``--cache DIR`` (default
+``.bench-cache``) keyed by point config + hardware params + package
+version, so re-running after touching one figure module only recomputes
+that figure's points; ``--no-cache`` disables the cache.  ``--seed N``
+selects an alternate deterministic campaign seed (0 = the paper default
+that the committed digests pin).
 """
 
 from __future__ import annotations
@@ -15,6 +25,9 @@ from repro.bench import TARGETS
 
 
 def main(argv=None) -> int:
+    from repro.bench import parallel
+    from repro.bench.runner import set_campaign_seed
+
     parser = argparse.ArgumentParser(
         prog="repro-bench",
         description="Regenerate the tables/figures of 'Thinking More "
@@ -29,21 +42,56 @@ def main(argv=None) -> int:
                              "flag for scripts)")
     parser.add_argument("--plot", action="store_true",
                         help="also draw the figure as a terminal plot")
+    parser.add_argument("--jobs", default="1", metavar="N",
+                        help="worker processes for sweep points "
+                             "(a number, or 'auto' for all cores)")
+    parser.add_argument("--cache", default=parallel.DEFAULT_CACHE_DIR,
+                        metavar="DIR",
+                        help="point-cache directory (default: "
+                             f"{parallel.DEFAULT_CACHE_DIR})")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the point cache")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="campaign seed for all rig rngs (default 0 = "
+                             "the paper runs; digests are pinned at 0)")
     args = parser.parse_args(argv)
     if args.full and args.quick:
         parser.error("--full and --quick are mutually exclusive")
+    jobs = (parallel.default_jobs() if args.jobs == "auto"
+            else max(1, int(args.jobs)))
+    cache_dir = None if args.no_cache else args.cache
+    quick = not args.full
+    set_campaign_seed(args.seed)
+
     targets = sorted(TARGETS) if args.target == "all" else [args.target]
     for name in targets:
         module = importlib.import_module(TARGETS[name])
         t0 = time.time()
+        if parallel.point_capable(module):
+            result = parallel.run_campaign(name, quick=quick, jobs=jobs,
+                                           cache_dir=cache_dir,
+                                           seed=args.seed)
+            for i, fig in enumerate(result.figures):
+                if i:
+                    print()
+                print(fig.to_text())
+                if args.plot:
+                    from repro.bench.plot import render
+                    print()
+                    print(render(fig))
+            stats = f" [{result.stats_line}]" if cache_dir else ""
+            print(f"[{name} done in {time.time() - t0:.1f}s{stats}]\n")
+            continue
+        # Meta-targets (summary/breakdown/scorecard) aggregate other
+        # modules' runs and stay on the serial path.
         if args.plot and hasattr(module, "run"):
             from repro.bench.plot import render
-            fig = module.run(quick=not args.full)
+            fig = module.run(quick=quick)
             print(fig.to_text())
             print()
             print(render(fig))
         else:
-            module.main(quick=not args.full)
+            module.main(quick=quick)
         print(f"[{name} done in {time.time() - t0:.1f}s]\n")
     return 0
 

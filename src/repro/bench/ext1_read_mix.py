@@ -18,9 +18,10 @@ from __future__ import annotations
 from repro import build
 from repro.apps.hashtable import DisaggregatedHashTable, FrontEndConfig
 from repro.bench.report import FigureResult
+from repro.bench.runner import bench_seed
 from repro.core.locks import BackoffPolicy
 
-__all__ = ["run", "main"]
+__all__ = ["run", "main", "points", "run_point", "assemble"]
 
 WRITE_RATIOS = [1.0, 0.75, 0.5, 0.25, 0.05]
 N_FE = 10
@@ -30,26 +31,39 @@ def _measure(write_ratio: float, config: FrontEndConfig,
              quick: bool) -> float:
     sim, cluster, ctx = build(machines=8)
     table = DisaggregatedHashTable(ctx, N_FE, config, n_keys=4096,
-                                   hot_fraction=0.125)
+                                   hot_fraction=0.125, seed=bench_seed(0))
     measure_ns = 400_000 if quick else 1_000_000
     return table.run_throughput(
         measure_ns=measure_ns, warmup_ns=100_000,
         workload_kwargs={"write_ratio": write_ratio}).mops
 
 
-def run(quick: bool = True) -> FigureResult:
+def _config(name: str) -> FrontEndConfig:
+    if name == "numa":
+        return FrontEndConfig(numa="matched")
+    return FrontEndConfig(numa="matched", theta=16,
+                          backoff=BackoffPolicy(base_ns=1500),
+                          merge_flush=False)
+
+
+def points(quick: bool = True) -> list:
+    return [{"config": config, "ratio": r}
+            for config in ("numa", "reorder") for r in WRITE_RATIOS]
+
+
+def run_point(point: dict, quick: bool = True) -> float:
+    return _measure(point["ratio"], _config(point["config"]), quick)
+
+
+def assemble(values: list, quick: bool = True) -> FigureResult:
     fig = FigureResult(
         name="Ext 1", title="Hashtable throughput vs write ratio "
                             f"({N_FE} front-ends) — extension",
         x_label="Write Ratio", x_values=WRITE_RATIOS,
         y_label="Throughput (MOPS)")
-    numa = FrontEndConfig(numa="matched")
-    reorder = FrontEndConfig(numa="matched", theta=16,
-                             backoff=BackoffPolicy(base_ns=1500),
-                             merge_flush=False)
-    fig.add("+Numa-OPT", [_measure(r, numa, quick) for r in WRITE_RATIOS])
-    fig.add("+Reorder-OPT (theta=16)",
-            [_measure(r, reorder, quick) for r in WRITE_RATIOS])
+    k = len(WRITE_RATIOS)
+    fig.add("+Numa-OPT", list(values[:k]))
+    fig.add("+Reorder-OPT (theta=16)", list(values[k:]))
     n = fig.get("+Numa-OPT").values
     ro = fig.get("+Reorder-OPT (theta=16)").values
     gains = [b / a for a, b in zip(n, ro)]
@@ -60,6 +74,10 @@ def run(quick: bool = True) -> FigureResult:
     fig.check("reorder never loses", str(all(g >= 0.95 for g in gains)),
               "True")
     return fig
+
+
+def run(quick: bool = True) -> FigureResult:
+    return assemble([run_point(p, quick) for p in points(quick)], quick)
 
 
 def main(quick: bool = True) -> None:

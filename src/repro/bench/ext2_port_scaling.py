@@ -17,7 +17,7 @@ from repro.hw import HardwareParams
 from repro.sim.stats import mops
 from repro.verbs import Opcode, Sge, Worker, WorkRequest
 
-__all__ = ["run", "main"]
+__all__ = ["run", "main", "points", "run_point", "assemble"]
 
 PORTS = [1, 2, 4]
 CLIENTS = 12
@@ -84,14 +84,25 @@ def _same_word_atomic_mops(ports: int, quick: bool) -> float:
     return mops(done[0], sim.now)
 
 
-def run(quick: bool = True) -> FigureResult:
+def points(quick: bool = True) -> list:
+    return [{"probe": probe, "ports": p}
+            for probe in ("write", "atomic") for p in PORTS]
+
+
+def run_point(point: dict, quick: bool = True) -> float:
+    if point["probe"] == "write":
+        return _inbound_write_mops(point["ports"], quick)
+    return _same_word_atomic_mops(point["ports"], quick)
+
+
+def assemble(values: list, quick: bool = True) -> FigureResult:
     fig = FigureResult(
         name="Ext 2", title="Multi-port scaling (inbound writes vs "
                             "same-word atomics) — extension",
         x_label="RNIC Ports", x_values=PORTS,
         y_label="Throughput (MOPS)")
-    writes = [_inbound_write_mops(p, quick) for p in PORTS]
-    atomics = [_same_word_atomic_mops(p, quick) for p in PORTS]
+    writes = list(values[:len(PORTS)])
+    atomics = list(values[len(PORTS):])
     fig.add("inbound 64 B writes", writes)
     fig.add("same-word FAA", atomics)
     fig.check("write scaling 1 -> 4 ports", f"{writes[-1] / writes[0]:.1f}x",
@@ -100,6 +111,10 @@ def run(quick: bool = True) -> FigureResult:
               f"{atomics[-1] / atomics[0]:.1f}x",
               "~1x (device-wide word serialization)")
     return fig
+
+
+def run(quick: bool = True) -> FigureResult:
+    return assemble([run_point(p, quick) for p in points(quick)], quick)
 
 
 def main(quick: bool = True) -> None:

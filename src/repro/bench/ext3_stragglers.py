@@ -18,9 +18,10 @@ from __future__ import annotations
 from repro import build
 from repro.apps.shuffle import DistributedShuffle, ShuffleConfig
 from repro.bench.report import FigureResult
+from repro.bench.runner import bench_seed
 from repro.hw import FaultInjector
 
-__all__ = ["run", "main"]
+__all__ = ["run", "main", "points", "run_point", "assemble"]
 
 FACTORS = [1, 2, 4, 8, 16]
 
@@ -31,7 +32,7 @@ def _run_shuffle(slow_factor: float, reroute: bool, quick: bool) -> float:
     shuffle = DistributedShuffle(
         ctx, 8, ShuffleConfig(strategy="sgl", batch_size=8, numa=reroute,
                               move_data=False),
-        entries_per_executor=entries, seed=11)
+        entries_per_executor=entries, seed=bench_seed(11))
     if slow_factor > 1:
         injector = FaultInjector(sim)
         victim = shuffle.executors[3]
@@ -47,14 +48,24 @@ def _run_shuffle(slow_factor: float, reroute: bool, quick: bool) -> float:
     return shuffle.run().elapsed_ns
 
 
-def run(quick: bool = True) -> FigureResult:
+def points(quick: bool = True) -> list:
+    return [{"reroute": reroute, "factor": f}
+            for reroute in (False, True) for f in FACTORS]
+
+
+def run_point(point: dict, quick: bool = True) -> float:
+    return _run_shuffle(point["factor"], reroute=point["reroute"],
+                        quick=quick)
+
+
+def assemble(values: list, quick: bool = True) -> FigureResult:
     fig = FigureResult(
         name="Ext 3", title="Shuffle completion vs one degraded port "
                             "— extension",
         x_label="Slowdown factor of one port", x_values=FACTORS,
         y_label="Completion time (normalized to healthy)")
-    base = [_run_shuffle(f, reroute=False, quick=quick) for f in FACTORS]
-    mitigated = [_run_shuffle(f, reroute=True, quick=quick) for f in FACTORS]
+    base = list(values[:len(FACTORS)])
+    mitigated = list(values[len(FACTORS):])
     fig.add("baseline (stuck behind straggler)",
             [t / base[0] for t in base])
     fig.add("rerouted to healthy port",
@@ -66,6 +77,10 @@ def run(quick: bool = True) -> FigureResult:
               "much flatter (residual: inbound lanes still cross the "
               "slow port)")
     return fig
+
+
+def run(quick: bool = True) -> FigureResult:
+    return assemble([run_point(p, quick) for p in points(quick)], quick)
 
 
 def main(quick: bool = True) -> None:

@@ -18,7 +18,7 @@ from repro.bench.report import FigureResult
 from repro.sim.stats import mops
 from repro.workloads.ycsb import OpKind, YcsbWorkload
 
-__all__ = ["run", "main"]
+__all__ = ["run", "main", "points", "run_point", "assemble"]
 
 FRONTENDS = [2, 6, 10, 14]
 
@@ -59,15 +59,29 @@ def _two_sided(n_fe: int, n_servers: int, quick: bool
     return mops(done[0], sim.now - t0), backend_cpu / 1000.0
 
 
-def run(quick: bool = True) -> FigureResult:
+def points(quick: bool = True) -> list:
+    pts = [{"kind": "one", "frontends": n} for n in FRONTENDS]
+    pts.extend({"kind": "rpc", "servers": s, "frontends": n}
+               for s in (1, 4) for n in FRONTENDS)
+    return pts
+
+
+def run_point(point: dict, quick: bool = True) -> list:
+    if point["kind"] == "one":
+        return list(_one_sided(point["frontends"], quick))
+    return list(_two_sided(point["frontends"], point["servers"], quick))
+
+
+def assemble(values: list, quick: bool = True) -> FigureResult:
     fig = FigureResult(
         name="Ext 4", title="One-sided vs two-sided KV service "
                             "(100% write, Zipf 0.99) — extension",
         x_label="Front-end Number", x_values=FRONTENDS,
         y_label="Throughput (MOPS) / back-end CPU (us)")
-    one = [_one_sided(n, quick) for n in FRONTENDS]
-    rpc1 = [_two_sided(n, 1, quick) for n in FRONTENDS]
-    rpc4 = [_two_sided(n, 4, quick) for n in FRONTENDS]
+    k = len(FRONTENDS)
+    one = values[:k]
+    rpc1 = values[k:2 * k]
+    rpc4 = values[2 * k:]
     fig.add("one-sided (NUMA-matched)", [m for m, _ in one])
     fig.add("RPC, 1 server thread", [m for m, _ in rpc1])
     fig.add("RPC, 4 server threads", [m for m, _ in rpc4])
@@ -83,6 +97,10 @@ def run(quick: bool = True) -> FigureResult:
     fig.check("RPC-1 server-bound plateau (MOPS)", f"{max(r1):.2f}",
               "~1.1 (1/rpc_service_ns)")
     return fig
+
+
+def run(quick: bool = True) -> FigureResult:
+    return assemble([run_point(p, quick) for p in points(quick)], quick)
 
 
 def main(quick: bool = True) -> None:

@@ -13,11 +13,12 @@ from __future__ import annotations
 
 from repro import build
 from repro.bench.report import FigureResult
+from repro.bench.runner import bench_seed
 from repro.core import RemoteMirror, Replica
 from repro.sim import make_rng
 from repro.verbs import Worker
 
-__all__ = ["run", "main"]
+__all__ = ["run", "main", "points", "run_point", "assemble"]
 
 REGION_MB = 8
 DIRTY_FRACTIONS = [0.01, 0.05, 0.25, 1.0]
@@ -38,7 +39,7 @@ def _mirror_rig():
 
 def _sync_ms(dirty_fraction: float) -> float:
     sim, mirror = _mirror_rig()
-    rng = make_rng(17)
+    rng = make_rng(bench_seed(17))
     n_dirty = max(1, int(mirror.n_blocks * dirty_fraction))
     blocks = rng.choice(mirror.n_blocks, size=n_dirty, replace=False)
 
@@ -63,7 +64,19 @@ def _recovery_gbps(chunk_kb: int) -> float:
     return sim.run(until=sim.process(client()))
 
 
-def run(quick: bool = True) -> FigureResult:
+def points(quick: bool = True) -> list:
+    pts = [{"probe": "sync", "fraction": f} for f in DIRTY_FRACTIONS]
+    pts.extend({"probe": "recovery", "chunk_kb": c} for c in CHUNKS_KB)
+    return pts
+
+
+def run_point(point: dict, quick: bool = True) -> float:
+    if point["probe"] == "sync":
+        return _sync_ms(point["fraction"])
+    return _recovery_gbps(point["chunk_kb"])
+
+
+def assemble(values: list, quick: bool = True) -> FigureResult:
     fig = FigureResult(
         name="Ext 5", title=f"Replication sync + recovery "
                             f"({REGION_MB} MB region, 2 replicas) "
@@ -71,9 +84,9 @@ def run(quick: bool = True) -> FigureResult:
         x_label="dirty fraction / chunk KB",
         x_values=[str(f) for f in DIRTY_FRACTIONS],
         y_label="sync ms | recovery GB/s")
-    sync = [_sync_ms(f) for f in DIRTY_FRACTIONS]
+    sync = list(values[:len(DIRTY_FRACTIONS)])
     fig.add("incremental sync (ms)", sync)
-    recov = [_recovery_gbps(c) for c in CHUNKS_KB]
+    recov = list(values[len(DIRTY_FRACTIONS):])
     fig.add(f"recovery GB/s at chunk {CHUNKS_KB} KB", recov)
     fig.check("sync cost tracks dirty fraction",
               f"{sync[0]:.2f} -> {sync[-1]:.2f} ms",
@@ -85,6 +98,10 @@ def run(quick: bool = True) -> FigureResult:
               f"{(REGION_MB << 20) / recov[-1] / 1e6:.1f} ms",
               "milliseconds, not seconds — the scenario III promise")
     return fig
+
+
+def run(quick: bool = True) -> FigureResult:
+    return assemble([run_point(p, quick) for p in points(quick)], quick)
 
 
 def main(quick: bool = True) -> None:

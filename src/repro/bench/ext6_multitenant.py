@@ -27,7 +27,7 @@ from repro.hw.params import ServiceConfig, TenantSpec
 from repro.tenancy import ServicePlane
 from repro.verbs import CompletionStatus
 
-__all__ = ["run", "main"]
+__all__ = ["run", "main", "points", "run_point", "assemble"]
 
 #: Noisy neighbour overdrive: streams per noisy tenant vs per victim.
 VICTIM_STREAMS = 2
@@ -154,15 +154,28 @@ def _run_admission(burst_streams: int, ops_per_stream: int) -> dict:
     }
 
 
-def run(quick: bool = True) -> FigureResult:
-    victim_ops = 120 if quick else 400
-    pool = _run_pooling()
-    adm = _run_admission(burst_streams=24 if quick else 48,
-                         ops_per_stream=4 if quick else 8)
+def points(quick: bool = True) -> list:
+    pts = [{"probe": "pooling"}, {"probe": "admission"}]
+    pts.extend({"probe": "isolation", "policy": p, "noisy": n}
+               for n in (0, NOISY_STREAMS) for p in ("fifo", "wfq"))
+    return pts
 
-    iso = {p: _run_isolation(p, 0, victim_ops) for p in ("fifo", "wfq")}
-    loaded = {p: _run_isolation(p, NOISY_STREAMS, victim_ops)
-              for p in ("fifo", "wfq")}
+
+def run_point(point: dict, quick: bool = True) -> dict:
+    probe = point["probe"]
+    if probe == "pooling":
+        return _run_pooling()
+    if probe == "admission":
+        return _run_admission(burst_streams=24 if quick else 48,
+                              ops_per_stream=4 if quick else 8)
+    victim_ops = 120 if quick else 400
+    return _run_isolation(point["policy"], point["noisy"], victim_ops)
+
+
+def assemble(values: list, quick: bool = True) -> FigureResult:
+    pool, adm = values[0], values[1]
+    iso = {"fifo": values[2], "wfq": values[3]}
+    loaded = {"fifo": values[4], "wfq": values[5]}
     inflation = {p: loaded[p]["p99_us"] / iso[p]["p99_us"]
                  for p in ("fifo", "wfq")}
 
@@ -201,6 +214,10 @@ def run(quick: bool = True) -> FigureResult:
         "victim: 2 closed-loop streams; noisy: 20 streams on another "
         "machine, same scheduler slots. Latency includes plane queuing.")
     return fig
+
+
+def run(quick: bool = True) -> FigureResult:
+    return assemble([run_point(p, quick) for p in points(quick)], quick)
 
 
 def main(quick: bool = True) -> None:

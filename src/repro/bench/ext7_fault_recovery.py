@@ -27,15 +27,17 @@ from __future__ import annotations
 
 from repro import build
 from repro.bench.report import FigureResult
+from repro.bench.runner import bench_seed
 from repro.hw import FaultInjector
 from repro.sim import make_rng
 from repro.sim.stats import percentiles
 from repro.verbs import (CompletionStatus, Opcode, QPState, Sge, Worker,
                          WorkRequest)
 
-__all__ = ["run", "main"]
+__all__ = ["run", "main", "points", "run_point", "assemble"]
 
 WRITE_BYTES = 64
+LOSS_RATES = [0.0, 0.01, 0.05, 0.2]
 
 # (a) blackhole timeline, all ns: [0, HOLE_START) is the healthy warm-up,
 # the loss window lasts HOLE_NS, and the stream stops at END_NS.
@@ -113,35 +115,32 @@ def _run_blackhole() -> dict:
     }
 
 
-def _run_loss_sweep(loss_rates, ops: int) -> dict:
-    """(b) p99 latency and retransmission count vs i.i.d. drop rate."""
-    p99_us, retrans = [], []
-    for prob in loss_rates:
-        sim, cluster, ctx = build(machines=2)
-        lmr = ctx.register(0, 4096)
-        rmr = ctx.register(1, 1 << 16)
-        qp = ctx.create_qp(0, 1)
-        w = Worker(ctx, 0)
-        if prob > 0.0:
-            FaultInjector(sim, rng=make_rng(7)).drop_port(qp.local_port, prob)
-        lat: list[float] = []
+def _run_loss_point(prob: float, ops: int) -> list:
+    """(b) one drop-rate point: [p99_us, retransmissions]."""
+    sim, cluster, ctx = build(machines=2)
+    lmr = ctx.register(0, 4096)
+    rmr = ctx.register(1, 1 << 16)
+    qp = ctx.create_qp(0, 1)
+    w = Worker(ctx, 0)
+    if prob > 0.0:
+        FaultInjector(sim, rng=make_rng(bench_seed(7))).drop_port(
+            qp.local_port, prob)
+    lat: list[float] = []
 
-        def stream():
-            for k in range(ops):
-                off = (WRITE_BYTES * k) % 4096
-                t0 = sim.now
-                comp = yield from w.write(
-                    qp, src=lmr[0:WRITE_BYTES],
-                    dst=rmr[off:off + WRITE_BYTES], move_data=False)
-                if comp.ok:
-                    lat.append(sim.now - t0)
-                else:
-                    yield from _drain_and_reconnect(sim, ctx, qp)
+    def stream():
+        for k in range(ops):
+            off = (WRITE_BYTES * k) % 4096
+            t0 = sim.now
+            comp = yield from w.write(
+                qp, src=lmr[0:WRITE_BYTES],
+                dst=rmr[off:off + WRITE_BYTES], move_data=False)
+            if comp.ok:
+                lat.append(sim.now - t0)
+            else:
+                yield from _drain_and_reconnect(sim, ctx, qp)
 
-        sim.run(until=sim.process(stream()))
-        p99_us.append(percentiles(sorted(lat), [99])[0] / 1000.0)
-        retrans.append(qp.retransmissions)
-    return {"p99_us": p99_us, "retransmissions": retrans}
+    sim.run(until=sim.process(stream()))
+    return [percentiles(sorted(lat), [99])[0] / 1000.0, qp.retransmissions]
 
 
 def _run_exhaustion_failover() -> dict:
@@ -171,11 +170,11 @@ def _run_exhaustion_failover() -> dict:
         comps = []
         for ev in events:
             comps.append((yield from w.wait(ev)))
-        out["statuses"] = [c.status for c in comps]
-        out["state_after"] = qp.state
+        out["statuses"] = [c.status.value for c in comps]
+        out["state_after"] = qp.state.name
         # Dual-port failover: the second port of each RNIC is healthy.
         yield ctx.reconnect_qp(qp, local_port=1, remote_port=1)
-        out["state_recovered"] = qp.state
+        out["state_recovered"] = qp.state.name
         comp = yield from w.write(qp, src=lmr[0:64], dst=rmr[0:64],
                                   move_data=False)
         out["post_failover_ok"] = comp.ok
@@ -186,13 +185,29 @@ def _run_exhaustion_failover() -> dict:
     return out
 
 
-def run(quick: bool = True) -> FigureResult:
-    loss_rates = [0.0, 0.01, 0.05, 0.2]
-    sweep_ops = 400 if quick else 2000
+def points(quick: bool = True) -> list:
+    pts = [{"probe": "blackhole"}]
+    pts.extend({"probe": "loss", "prob": prob} for prob in LOSS_RATES)
+    pts.append({"probe": "exhaustion"})
+    return pts
 
-    hole = _run_blackhole()
-    sweep = _run_loss_sweep(loss_rates, sweep_ops)
-    exh = _run_exhaustion_failover()
+
+def run_point(point: dict, quick: bool = True):
+    probe = point["probe"]
+    if probe == "blackhole":
+        return _run_blackhole()
+    if probe == "loss":
+        return _run_loss_point(point["prob"], 400 if quick else 2000)
+    return _run_exhaustion_failover()
+
+
+def assemble(values: list, quick: bool = True) -> FigureResult:
+    loss_rates = LOSS_RATES
+    hole = values[0]
+    loss = values[1:1 + len(loss_rates)]
+    exh = values[-1]
+    sweep = {"p99_us": [v[0] for v in loss],
+             "retransmissions": [v[1] for v in loss]}
 
     fig = FigureResult(
         name="Ext 7",
@@ -220,7 +235,7 @@ def run(quick: bool = True) -> FigureResult:
               f"retrans {sweep['retransmissions']}",
               "monotone p99; retransmissions == 0 at p=0")
     fig.check("(c) retry_cnt exhaustion is loud, then dual-port failover",
-              f"statuses {[s.value for s in exh['statuses']]}, "
+              f"statuses {exh['statuses']}, "
               f"recovered={exh['post_failover_ok']} on port 1",
               "head RETRY_EXC_ERR, rest WR_FLUSH_ERR, then SUCCESS")
     fig.notes.append(
@@ -228,6 +243,10 @@ def run(quick: bool = True) -> FigureResult:
         "retry budget retry_cnt=7 with 20 us base timeout, 2x backoff "
         "capped at 500 us.")
     return fig
+
+
+def run(quick: bool = True) -> FigureResult:
+    return assemble([run_point(p, quick) for p in points(quick)], quick)
 
 
 def main(quick: bool = True) -> None:

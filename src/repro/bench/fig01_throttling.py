@@ -16,7 +16,7 @@ from repro.bench.runner import (
     write_wr,
 )
 
-__all__ = ["run", "main"]
+__all__ = ["run", "main", "points", "run_point", "assemble"]
 
 SIZES_FULL = [2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192]
 SIZES_QUICK = [2, 16, 64, 256, 1024, 4096, 8192]
@@ -46,17 +46,32 @@ def _throughput_mops(size: int, op: str, n_ops: int) -> float:
     return client.mops
 
 
-def run(quick: bool = True) -> FigureResult:
+def points(quick: bool = True) -> list:
     sizes = SIZES_QUICK if quick else SIZES_FULL
+    return [{"metric": metric, "op": op, "size": size}
+            for metric in ("latency", "mops")
+            for op in ("write", "read")
+            for size in sizes]
+
+
+def run_point(point: dict, quick: bool = True) -> float:
+    if point["metric"] == "latency":
+        return _latency_us(point["size"], point["op"])
     n_ops = 800 if quick else 2500
+    return _throughput_mops(point["size"], point["op"], n_ops)
+
+
+def assemble(values: list, quick: bool = True) -> FigureResult:
+    sizes = SIZES_QUICK if quick else SIZES_FULL
     fig = FigureResult(
         name="Fig 1", title="Packet Throttling",
         x_label="Size (Bytes)", x_values=sizes,
         y_label="Latency (us) / Throughput (MOPS)")
+    it = iter(values)
     for op in ("write", "read"):
-        fig.add(f"{op}-latency-us", [_latency_us(s, op) for s in sizes])
+        fig.add(f"{op}-latency-us", [next(it) for _ in sizes])
     for op in ("write", "read"):
-        fig.add(f"{op}-mops", [_throughput_mops(s, op, n_ops) for s in sizes])
+        fig.add(f"{op}-mops", [next(it) for _ in sizes])
     wl = fig.get("write-latency-us").values
     rl = fig.get("read-latency-us").values
     wt = fig.get("write-mops").values
@@ -69,6 +84,10 @@ def run(quick: bool = True) -> FigureResult:
     fig.check("latency ratio 8KB/16B (write)",
               f"{wl[-1] / wl[small]:.1f}x", "steep rise past 2KB (~4-5x)")
     return fig
+
+
+def run(quick: bool = True) -> FigureResult:
+    return assemble([run_point(p, quick) for p in points(quick)], quick)
 
 
 def main(quick: bool = True) -> None:

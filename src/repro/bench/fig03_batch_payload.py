@@ -10,28 +10,46 @@ from __future__ import annotations
 from repro.bench.report import FigureResult
 from repro.bench.vector_io_common import batched_throughput, local_vector_mops
 
-__all__ = ["run", "main"]
+__all__ = ["run", "main", "points", "run_point", "assemble"]
 
 SIZES_FULL = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048]
 SIZES_QUICK = [4, 32, 128, 512, 2048]
 
 
-def run(quick: bool = True) -> FigureResult:
+def points(quick: bool = True) -> list:
     sizes = SIZES_QUICK if quick else SIZES_FULL
+    pts = []
+    for batch in (4, 16):
+        for strategy in ("doorbell", "sgl", "sp"):
+            pts.extend({"strategy": strategy, "batch": batch, "size": s}
+                       for s in sizes)
+        if batch == 4:
+            pts.extend({"strategy": "local", "batch": batch, "size": s}
+                       for s in sizes)
+    return pts
+
+
+def run_point(point: dict, quick: bool = True) -> float:
+    if point["strategy"] == "local":
+        return local_vector_mops("write", point["batch"], point["size"])
     n_batches = 120 if quick else 400
+    return batched_throughput(point["strategy"], point["batch"],
+                              point["size"], n_batches=n_batches)["mops"]
+
+
+def assemble(values: list, quick: bool = True) -> FigureResult:
+    sizes = SIZES_QUICK if quick else SIZES_FULL
     fig = FigureResult(
         name="Fig 3", title="Batch strategies vs payload size (one-to-one)",
         x_label="Size (Bytes)", x_values=sizes,
         y_label="Throughput (MOPS, entries)")
+    it = iter(values)
     for batch in (4, 16):
         for strategy in ("doorbell", "sgl", "sp"):
-            fig.add(f"{strategy.capitalize()}-size-{batch}", [
-                batched_throughput(strategy, batch, s,
-                                   n_batches=n_batches)["mops"]
-                for s in sizes])
+            fig.add(f"{strategy.capitalize()}-size-{batch}",
+                    [next(it) for _ in sizes])
         if batch == 4:
-            fig.add("Local-size-4",
-                    [local_vector_mops("write", batch, s) for s in sizes])
+            fig.add("Local-size-4", [next(it) for _ in sizes])
     small_i = sizes.index(32)
     big_i = len(sizes) - 1
     sp16 = fig.get("Sp-size-16").values
@@ -48,6 +66,10 @@ def run(quick: bool = True) -> FigureResult:
     fig.check("SGL loses its edge past ~512B (vs Doorbell)",
               f"{sgl16[big_i] / db16[big_i]:.2f}x", "advantage shrinks")
     return fig
+
+
+def run(quick: bool = True) -> FigureResult:
+    return assemble([run_point(p, quick) for p in points(quick)], quick)
 
 
 def main(quick: bool = True) -> None:

@@ -11,29 +11,41 @@ from __future__ import annotations
 from repro.bench.report import FigureResult
 from repro.bench.vector_io_common import batched_throughput, local_vector_mops
 
-__all__ = ["run", "main"]
+__all__ = ["run", "main", "points", "run_point", "assemble"]
 
 BATCHES_FULL = [1, 2, 4, 8, 16, 32]
 BATCHES_QUICK = [1, 4, 16, 32]
 PAYLOAD = 32
 
 
-def run(quick: bool = True) -> FigureResult:
+def points(quick: bool = True) -> list:
     batches = BATCHES_QUICK if quick else BATCHES_FULL
+    pts = [{"strategy": strategy, "batch": b}
+           for strategy in ("doorbell", "sgl", "sp") for b in batches]
+    pts.extend({"strategy": "local", "op": op, "batch": b}
+               for op in ("write", "read") for b in batches)
+    return pts
+
+
+def run_point(point: dict, quick: bool = True) -> float:
+    if point["strategy"] == "local":
+        return local_vector_mops(point["op"], point["batch"], PAYLOAD)
     n_batches = 150 if quick else 400
+    return batched_throughput(point["strategy"], point["batch"], PAYLOAD,
+                              n_batches=n_batches)["mops"]
+
+
+def assemble(values: list, quick: bool = True) -> FigureResult:
+    batches = BATCHES_QUICK if quick else BATCHES_FULL
     fig = FigureResult(
         name="Fig 4", title="Batch strategies vs batch size (32 B payload)",
         x_label="Batch Size", x_values=batches,
         y_label="Throughput (MOPS, entries)")
+    it = iter(values)
     for strategy in ("doorbell", "sgl", "sp"):
-        fig.add(strategy.capitalize(), [
-            batched_throughput(strategy, b, PAYLOAD,
-                               n_batches=n_batches)["mops"]
-            for b in batches])
-    fig.add("Local-W", [local_vector_mops("write", b, PAYLOAD)
-                        for b in batches])
-    fig.add("Local-R", [local_vector_mops("read", b, PAYLOAD)
-                        for b in batches])
+        fig.add(strategy.capitalize(), [next(it) for _ in batches])
+    fig.add("Local-W", [next(it) for _ in batches])
+    fig.add("Local-R", [next(it) for _ in batches])
     sp = fig.get("Sp").values
     sgl = fig.get("Sgl").values
     db = fig.get("Doorbell").values
@@ -50,6 +62,10 @@ def run(quick: bool = True) -> FigureResult:
     fig.check("SP(32) as share of Local-W", f"{sp[-1] / lw:.0%}", "~44%")
     fig.check("SP(32) as share of Local-R", f"{sp[-1] / lr:.0%}", "~117%")
     return fig
+
+
+def run(quick: bool = True) -> FigureResult:
+    return assemble([run_point(p, quick) for p in points(quick)], quick)
 
 
 def main(quick: bool = True) -> None:

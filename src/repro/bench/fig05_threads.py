@@ -12,7 +12,7 @@ from __future__ import annotations
 from repro.bench.report import FigureResult
 from repro.bench.vector_io_common import batched_throughput
 
-__all__ = ["run", "main"]
+__all__ = ["run", "main", "points", "run_point", "assemble"]
 
 THREADS_FULL = [1, 2, 3, 4, 5, 6, 7, 8]
 THREADS_QUICK = [1, 2, 4, 8]
@@ -20,20 +20,29 @@ BATCH = 4
 PAYLOAD = 32
 
 
-def run(quick: bool = True) -> FigureResult:
+def points(quick: bool = True) -> list:
     threads = THREADS_QUICK if quick else THREADS_FULL
+    return [{"strategy": strategy, "threads": t}
+            for strategy in ("doorbell", "sgl", "sp") for t in threads]
+
+
+def run_point(point: dict, quick: bool = True) -> float:
     n_batches = 150 if quick else 400
+    return batched_throughput(point["strategy"], BATCH, PAYLOAD,
+                              n_batches=n_batches, depth=1,
+                              threads=point["threads"])["per_thread"]
+
+
+def assemble(values: list, quick: bool = True) -> FigureResult:
+    threads = THREADS_QUICK if quick else THREADS_FULL
     fig = FigureResult(
         name="Fig 5", title="Per-thread throughput vs thread number "
                             "(batch 4, 32 B)",
         x_label="Thread Number", x_values=threads,
         y_label="Per-thread Throughput (MOPS, entries)")
+    it = iter(values)
     for strategy in ("doorbell", "sgl", "sp"):
-        fig.add(strategy.capitalize(), [
-            batched_throughput(strategy, BATCH, PAYLOAD,
-                               n_batches=n_batches, depth=1,
-                               threads=t)["per_thread"]
-            for t in threads])
+        fig.add(strategy.capitalize(), [next(it) for _ in threads])
     sp = fig.get("Sp").values
     sgl = fig.get("Sgl").values
     db = fig.get("Doorbell").values
@@ -48,6 +57,10 @@ def run(quick: bool = True) -> FigureResult:
     fig.check("Doorbell drop 1 -> 8 threads",
               f"{1 - db[-1] / db[0]:.0%}", "~60%")
     return fig
+
+
+def run(quick: bool = True) -> FigureResult:
+    return assemble([run_point(p, quick) for p in points(quick)], quick)
 
 
 def main(quick: bool = True) -> None:

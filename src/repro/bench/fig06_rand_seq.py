@@ -14,7 +14,7 @@ below 4 MB (the RNIC SRAM's translation coverage) the difference vanishes
 from __future__ import annotations
 
 from repro.bench.report import FigureResult
-from repro.bench.runner import fresh_rig
+from repro.bench.runner import bench_seed, fresh_rig
 from repro.core.access import RemoteAccessRunner
 from repro.hw import HardwareParams
 from repro.hw.dram import AccessPattern, DramModel
@@ -22,7 +22,8 @@ from repro.hw.numa import NumaTopology
 from repro.sim import make_rng
 from repro.verbs import Opcode
 
-__all__ = ["run", "run_local", "run_sizes", "main"]
+__all__ = ["run", "run_local", "run_sizes", "main",
+           "points", "run_point", "assemble"]
 
 SIZES_FULL = [1, 4, 16, 64, 256, 1024, 4096, 8192]
 SIZES_QUICK = [16, 256, 4096]
@@ -42,24 +43,77 @@ def _remote_mops(opcode, payload, src, dst, window=WINDOW_BYTES,
     sim, ctx, lmr, rmr, qp, w = fresh_rig(mr_bytes=window)
     runner = RemoteAccessRunner(
         w, qp, lmr, rmr, opcode, payload_bytes=payload,
-        src_pattern=src, dst_pattern=dst, rng=make_rng(11))
+        src_pattern=src, dst_pattern=dst, rng=make_rng(bench_seed(11)))
     return sim.run(until=sim.process(runner.run(n_ops, warmup=warmup)))
 
 
-def run(quick: bool = True, opcode: Opcode = Opcode.WRITE) -> FigureResult:
-    """Panels (a)/(b): remote access patterns over payload sizes."""
+def _local_dram() -> DramModel:
+    p = HardwareParams()
+    return DramModel(p, NumaTopology(p))
+
+
+# ------------------------------------------------------- point contract
+def points(quick: bool = True) -> list:
     sizes = SIZES_QUICK if quick else SIZES_FULL
-    n_ops = 700 if quick else 2000
-    op = "write" if opcode is Opcode.WRITE else "read"
+    labels = REG_SIZES_QUICK if quick else REG_SIZES_FULL
+    pts = []
+    for op in ("read", "write"):  # panels (a) then (b)
+        for src, dst in PATTERNS:
+            pts.extend({"panel": op, "src": src, "dst": dst, "size": s}
+                       for s in sizes)
+    for op in ("write", "read"):  # panel (c), series order of run_local
+        for pattern in ("seq", "rand"):
+            pts.extend({"panel": "local", "op": op, "pattern": pattern,
+                        "size": s} for s in sizes)
+    pts.append({"panel": "local-asym", "op": "write"})
+    pts.append({"panel": "local-asym", "op": "read"})
+    for src, dst in PATTERNS:  # panel (d)
+        pts.extend({"panel": "sizes", "src": src, "dst": dst, "reg": lab}
+                   for lab in labels)
+    return pts
+
+
+def run_point(point: dict, quick: bool = True) -> float:
+    panel = point["panel"]
+    if panel in ("read", "write"):
+        n_ops = 700 if quick else 2000
+        opcode = Opcode.READ if panel == "read" else Opcode.WRITE
+        return _remote_mops(opcode, point["size"], point["src"],
+                            point["dst"], n_ops=n_ops)
+    if panel == "local":
+        dram = _local_dram()
+        cost = dram.write_ns if point["op"] == "write" else dram.read_ns
+        pattern = (AccessPattern.SEQUENTIAL if point["pattern"] == "seq"
+                   else AccessPattern.RANDOM)
+        return 1000.0 / cost(point["size"], pattern)
+    if panel == "local-asym":
+        # The paper's headline asymmetries are quoted at 64 B / 8 B ops.
+        dram = _local_dram()
+        if point["op"] == "write":
+            return (dram.write_ns(64, AccessPattern.RANDOM)
+                    / dram.write_ns(64, AccessPattern.SEQUENTIAL))
+        return (dram.read_ns(8, AccessPattern.RANDOM)
+                / dram.read_ns(8, AccessPattern.SEQUENTIAL))
+    # panel (d): warm long enough to amortize compulsory misses on small
+    # windows; big windows never stop missing, which is the point.
+    n_ops = 800 if quick else 2000
+    window = _REG_BYTES[point["reg"]]
+    pages = max(1, window // 4096)
+    warm = min(6000, max(1200, 3 * pages))
+    return _remote_mops(Opcode.WRITE, 32, point["src"], point["dst"],
+                        window=window, n_ops=n_ops, warmup=warm)
+
+
+def _assemble_remote(values: list, quick: bool, op: str) -> FigureResult:
+    sizes = SIZES_QUICK if quick else SIZES_FULL
     fig = FigureResult(
         name=f"Fig 6{'b' if op == 'write' else 'a'}",
         title=f"RDMA {op.upper()}: sequential vs random (large window)",
         x_label="Size (Bytes)", x_values=sizes,
         y_label="Throughput (MOPS)")
+    it = iter(values)
     for src, dst in PATTERNS:
-        fig.add(f"{op}-{src}-{dst}", [
-            _remote_mops(opcode, s, src, dst, n_ops=n_ops)
-            for s in sizes])
+        fig.add(f"{op}-{src}-{dst}", [next(it) for _ in sizes])
     seq = fig.get(f"{op}-seq-seq").values
     rand = fig.get(f"{op}-rand-rand").values
     i = 0
@@ -68,53 +122,32 @@ def run(quick: bool = True, opcode: Opcode = Opcode.WRITE) -> FigureResult:
     return fig
 
 
-def run_local(quick: bool = True) -> FigureResult:
-    """Panel (c): local DRAM baselines from the cost model."""
+def _assemble_local(values: list, quick: bool) -> FigureResult:
     sizes = SIZES_QUICK if quick else SIZES_FULL
-    p = HardwareParams()
-    dram = DramModel(p, NumaTopology(p))
     fig = FigureResult(
         name="Fig 6c", title="Local DRAM read/write, seq vs rand",
         x_label="Size (Bytes)", x_values=sizes,
         y_label="Throughput (MOPS)")
-    fig.add("write-seq", [1000.0 / dram.write_ns(s, AccessPattern.SEQUENTIAL)
-                          for s in sizes])
-    fig.add("write-rand", [1000.0 / dram.write_ns(s, AccessPattern.RANDOM)
-                           for s in sizes])
-    fig.add("read-seq", [1000.0 / dram.read_ns(s, AccessPattern.SEQUENTIAL)
-                         for s in sizes])
-    fig.add("read-rand", [1000.0 / dram.read_ns(s, AccessPattern.RANDOM)
-                          for s in sizes])
-    # The paper's headline asymmetries are quoted at 64 B ops.
-    w64 = (dram.write_ns(64, AccessPattern.RANDOM)
-           / dram.write_ns(64, AccessPattern.SEQUENTIAL))
-    r8 = (dram.read_ns(8, AccessPattern.RANDOM)
-          / dram.read_ns(8, AccessPattern.SEQUENTIAL))
+    it = iter(values)
+    for op in ("write", "read"):
+        for pattern in ("seq", "rand"):
+            fig.add(f"{op}-{pattern}", [next(it) for _ in sizes])
+    w64 = next(it)
+    r8 = next(it)
     fig.check("local write seq/rand (64 B)", f"{w64:.2f}x", "~2.92x")
     fig.check("local read seq/rand (8 B)", f"{r8:.2f}x", "4-8x")
     return fig
 
 
-def run_sizes(quick: bool = True) -> FigureResult:
-    """Panel (d): 32 B writes over the registered-size sweep."""
+def _assemble_sizes(values: list, quick: bool) -> FigureResult:
     labels = REG_SIZES_QUICK if quick else REG_SIZES_FULL
-    n_ops = 800 if quick else 2000
     fig = FigureResult(
         name="Fig 6d", title="Registered-size sweep (32 B writes)",
         x_label="Total Memory Size", x_values=labels,
         y_label="Throughput (MOPS)")
+    it = iter(values)
     for src, dst in PATTERNS:
-        vals = []
-        for lab in labels:
-            window = _REG_BYTES[lab]
-            # Warm long enough to amortize compulsory misses on small
-            # windows; big windows never stop missing, which is the point.
-            pages = max(1, window // 4096)
-            warm = min(6000, max(1200, 3 * pages))
-            vals.append(_remote_mops(Opcode.WRITE, 32, src, dst,
-                                     window=window, n_ops=n_ops,
-                                     warmup=warm))
-        fig.add(f"{src}-{dst}", vals)
+        fig.add(f"{src}-{dst}", [next(it) for _ in labels])
     seq = fig.get("seq-seq").values
     rand = fig.get("rand-rand").values
     small_i = labels.index("4K")
@@ -124,6 +157,43 @@ def run_sizes(quick: bool = True) -> FigureResult:
     fig.check("gap opens past 4MB",
               f"{seq[big_i] / rand[big_i]:.2f}x at {labels[big_i]}", ">2x")
     return fig
+
+
+def assemble(values: list, quick: bool = True) -> list:
+    """All four panels, in points() order: [6a, 6b, 6c, 6d]."""
+    sizes = SIZES_QUICK if quick else SIZES_FULL
+    labels = REG_SIZES_QUICK if quick else REG_SIZES_FULL
+    n_remote = len(PATTERNS) * len(sizes)
+    n_local = 4 * len(sizes) + 2
+    a, rest = values[:n_remote], values[n_remote:]
+    b, rest = rest[:n_remote], rest[n_remote:]
+    c, d = rest[:n_local], rest[n_local:]
+    assert len(d) == len(PATTERNS) * len(labels)
+    return [_assemble_remote(a, quick, "read"),
+            _assemble_remote(b, quick, "write"),
+            _assemble_local(c, quick),
+            _assemble_sizes(d, quick)]
+
+
+# ------------------------------------------------------ serial panel API
+def run(quick: bool = True, opcode: Opcode = Opcode.WRITE) -> FigureResult:
+    """Panels (a)/(b): remote access patterns over payload sizes."""
+    op = "write" if opcode is Opcode.WRITE else "read"
+    pts = [p for p in points(quick) if p["panel"] == op]
+    return _assemble_remote([run_point(p, quick) for p in pts], quick, op)
+
+
+def run_local(quick: bool = True) -> FigureResult:
+    """Panel (c): local DRAM baselines from the cost model."""
+    pts = [p for p in points(quick)
+           if p["panel"] in ("local", "local-asym")]
+    return _assemble_local([run_point(p, quick) for p in pts], quick)
+
+
+def run_sizes(quick: bool = True) -> FigureResult:
+    """Panel (d): 32 B writes over the registered-size sweep."""
+    pts = [p for p in points(quick) if p["panel"] == "sizes"]
+    return _assemble_sizes([run_point(p, quick) for p in pts], quick)
 
 
 def main(quick: bool = True) -> None:

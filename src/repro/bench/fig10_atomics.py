@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from repro import build
 from repro.bench.report import FigureResult
+from repro.bench.runner import bench_seed
 from repro.core.locks import (
     BackoffPolicy,
     LocalSpinLock,
@@ -24,7 +25,8 @@ from repro.sim import make_rng
 from repro.sim.stats import mops
 from repro.verbs import Worker
 
-__all__ = ["run_lock", "run_sequencer", "main"]
+__all__ = ["run_lock", "run_sequencer", "main",
+           "points", "run_point", "assemble"]
 
 THREADS_FULL = [1, 2, 4, 6, 8, 10, 12, 14]
 THREADS_QUICK = [1, 4, 8, 14]
@@ -76,7 +78,7 @@ def _remote_lock_mops(n_threads, window_ns, backoff=None) -> float:
         qp = ctx.create_qp(m, 0, local_port=i % 2, remote_port=i % 2)
         scratch = ctx.register(m, 4096, socket=i % 2)
         lk = RemoteSpinLock(w, qp, scratch, lock_mr, backoff=backoff,
-                            rng=make_rng(100 + i))
+                            rng=make_rng(bench_seed(100 + i)))
 
         def cycle(lk=lk):
             yield from lk.acquire()
@@ -106,20 +108,63 @@ def _rpc_lock_mops(n_threads, window_ns) -> float:
     return mops(total, window_ns)
 
 
-def run_lock(quick: bool = True) -> FigureResult:
-    threads = THREADS_QUICK if quick else THREADS_FULL
+#: Series order of each panel, also the canonical point order.
+_LOCK_KINDS = ("local", "remote", "rpc", "remote-backoff")
+_SEQ_KINDS = ("local", "remote", "rpc")
+
+
+def _lock_threads(quick: bool) -> list:
+    return THREADS_QUICK if quick else THREADS_FULL
+
+
+def _seq_threads(quick: bool) -> list:
+    return THREADS_QUICK if quick else [1, 2, 4, 6, 8, 10, 12, 14, 16]
+
+
+def points(quick: bool = True) -> list:
+    pts = [{"panel": "lock", "kind": kind, "threads": t}
+           for kind in _LOCK_KINDS for t in _lock_threads(quick)]
+    pts.extend({"panel": "seq", "kind": kind, "threads": t}
+               for kind in _SEQ_KINDS for t in _seq_threads(quick))
+    return pts
+
+
+def run_point(point: dict, quick: bool = True) -> float:
     window = WINDOW_QUICK if quick else WINDOW_FULL
+    kind, t = point["kind"], point["threads"]
+    if point["panel"] == "lock":
+        if kind == "local":
+            return _local_lock_mops(t, window)
+        if kind == "remote":
+            return _remote_lock_mops(t, window)
+        if kind == "rpc":
+            return _rpc_lock_mops(t, window)
+        return _remote_lock_mops(t, window,
+                                 BackoffPolicy(base_ns=1500, cap_ns=48_000))
+    if kind == "local":
+        return _local_seq_mops(t, window)
+    if kind == "remote":
+        return _remote_seq_mops(t, window)
+    return _rpc_seq_mops(t, window)
+
+
+def assemble(values: list, quick: bool = True) -> list:
+    """Both panels, in points() order: [10a, 10b]."""
+    n_lock = len(_LOCK_KINDS) * len(_lock_threads(quick))
+    return [_assemble_lock(values[:n_lock], quick),
+            _assemble_sequencer(values[n_lock:], quick)]
+
+
+def _assemble_lock(values: list, quick: bool = True) -> FigureResult:
+    threads = _lock_threads(quick)
     fig = FigureResult(
         name="Fig 10a", title="Spinlock: local / remote / RPC "
                               "(+ exponential backoff)",
         x_label="Thread Number", x_values=threads,
         y_label="Throughput (MOPS, lock+unlock cycles)")
-    fig.add("Local", [_local_lock_mops(t, window) for t in threads])
-    fig.add("Remote", [_remote_lock_mops(t, window) for t in threads])
-    fig.add("RPC-based", [_rpc_lock_mops(t, window) for t in threads])
-    backoff = BackoffPolicy(base_ns=1500, cap_ns=48_000)
-    fig.add("Remote+backoff",
-            [_remote_lock_mops(t, window, backoff) for t in threads])
+    it = iter(values)
+    for label in ("Local", "Remote", "RPC-based", "Remote+backoff"):
+        fig.add(label, [next(it) for _ in threads])
     local = fig.get("Local").values
     remote = fig.get("Remote").values
     rpc = fig.get("RPC-based").values
@@ -136,6 +181,11 @@ def run_lock(quick: bool = True) -> FigureResult:
     fig.check("backoff remote vs RPC @14",
               f"{rb[hi] / rpc[hi]:.2f}x", "~3.63x")
     return fig
+
+
+def run_lock(quick: bool = True) -> FigureResult:
+    pts = [p for p in points(quick) if p["panel"] == "lock"]
+    return _assemble_lock([run_point(p, quick) for p in pts], quick)
 
 
 def _local_seq_mops(n_threads, window_ns) -> float:
@@ -190,17 +240,15 @@ def _rpc_seq_mops(n_threads, window_ns) -> float:
     return mops(total, window_ns)
 
 
-def run_sequencer(quick: bool = True) -> FigureResult:
-    threads = THREADS_QUICK if quick else [1, 2, 4, 6, 8, 10, 12, 14, 16]
-    window = WINDOW_QUICK if quick else WINDOW_FULL
+def _assemble_sequencer(values: list, quick: bool = True) -> FigureResult:
+    threads = _seq_threads(quick)
     fig = FigureResult(
         name="Fig 10b", title="Sequencer: local / remote / RPC",
         x_label="Thread Number", x_values=threads,
         y_label="Throughput (MOPS)")
-    fig.add("Local Sequencer", [_local_seq_mops(t, window) for t in threads])
-    fig.add("Remote Sequencer",
-            [_remote_seq_mops(t, window) for t in threads])
-    fig.add("RPC Sequencer", [_rpc_seq_mops(t, window) for t in threads])
+    it = iter(values)
+    for label in ("Local Sequencer", "Remote Sequencer", "RPC Sequencer"):
+        fig.add(label, [next(it) for _ in threads])
     remote = fig.get("Remote Sequencer").values
     rpc = fig.get("RPC Sequencer").values
     hi = len(threads) - 1
@@ -208,6 +256,11 @@ def run_sequencer(quick: bool = True) -> FigureResult:
     fig.check("remote / RPC at saturation",
               f"{remote[hi] / rpc[hi]:.2f}x", "1.87-2.25x")
     return fig
+
+
+def run_sequencer(quick: bool = True) -> FigureResult:
+    pts = [p for p in points(quick) if p["panel"] == "seq"]
+    return _assemble_sequencer([run_point(p, quick) for p in pts], quick)
 
 
 def main(quick: bool = True) -> None:

@@ -16,9 +16,10 @@ from __future__ import annotations
 from repro import build
 from repro.apps.hashtable import DisaggregatedHashTable, FrontEndConfig
 from repro.bench.report import FigureResult
+from repro.bench.runner import bench_seed
 from repro.core.locks import BackoffPolicy
 
-__all__ = ["run", "main", "CONFIGS"]
+__all__ = ["run", "main", "CONFIGS", "points", "run_point", "assemble"]
 
 FRONTENDS_FULL = [1, 2, 4, 6, 8, 10, 12, 14]
 FRONTENDS_QUICK = [2, 6, 10, 14]
@@ -38,23 +39,34 @@ CONFIGS = {
 def measure(n_fe: int, config: FrontEndConfig, quick: bool = True) -> float:
     sim, cluster, ctx = build(machines=8)
     table = DisaggregatedHashTable(ctx, n_fe, config, n_keys=4096,
-                                   hot_fraction=0.125, block_entries=16)
+                                   hot_fraction=0.125, block_entries=16,
+                                   seed=bench_seed(0))
     measure_ns = 450_000 if quick else 1_200_000
     warmup_ns = 120_000 if quick else 300_000
     return table.run_throughput(measure_ns=measure_ns,
                                 warmup_ns=warmup_ns).mops
 
 
-def run(quick: bool = True) -> FigureResult:
+def points(quick: bool = True) -> list:
+    frontends = FRONTENDS_QUICK if quick else FRONTENDS_FULL
+    return [{"config": label, "frontends": n}
+            for label in CONFIGS for n in frontends]
+
+
+def run_point(point: dict, quick: bool = True) -> float:
+    return measure(point["frontends"], CONFIGS[point["config"]](), quick)
+
+
+def assemble(values: list, quick: bool = True) -> FigureResult:
     frontends = FRONTENDS_QUICK if quick else FRONTENDS_FULL
     fig = FigureResult(
         name="Fig 12", title="Disaggregated hashtable optimizations "
                              "(Zipf 0.99, 100% write, 64 B)",
         x_label="Front-end Number", x_values=frontends,
         y_label="Throughput (MOPS)")
-    for label, make_config in CONFIGS.items():
-        fig.add(label, [measure(n, make_config(), quick)
-                        for n in frontends])
+    it = iter(values)
+    for label in CONFIGS:
+        fig.add(label, [next(it) for _ in frontends])
     basic = fig.get("Basic HashTable").values
     numa = fig.get("+Numa-OPT").values
     r16 = fig.get("+Reorder-OPT (theta=16)").values
@@ -67,6 +79,10 @@ def run(quick: bool = True) -> FigureResult:
               f"{max(max(r16) / max(basic), max(r16) / max(numa)):.2f}x",
               "1.85-2.70x")
     return fig
+
+
+def run(quick: bool = True) -> FigureResult:
+    return assemble([run_point(p, quick) for p in points(quick)], quick)
 
 
 def main(quick: bool = True) -> None:

@@ -10,8 +10,9 @@ from __future__ import annotations
 from repro import build
 from repro.apps.shuffle import DistributedShuffle, ShuffleConfig
 from repro.bench.report import FigureResult
+from repro.bench.runner import bench_seed
 
-__all__ = ["run", "main", "CONFIGS"]
+__all__ = ["run", "main", "CONFIGS", "points", "run_point", "assemble"]
 
 EXECUTORS_FULL = [2, 4, 6, 8, 10, 12, 14, 16]
 EXECUTORS_QUICK = [4, 8, 16]
@@ -30,18 +31,30 @@ def measure(n_executors: int, quick: bool = True, **cfg_kw) -> float:
     entries = 600 if quick else 2000
     cfg = ShuffleConfig(numa=True, move_data=False, **cfg_kw)
     shuffle = DistributedShuffle(ctx, n_executors, cfg,
-                                 entries_per_executor=entries, seed=7)
+                                 entries_per_executor=entries,
+                                 seed=bench_seed(7))
     return shuffle.run().mops
 
 
-def run(quick: bool = True) -> FigureResult:
+def points(quick: bool = True) -> list:
+    executors = EXECUTORS_QUICK if quick else EXECUTORS_FULL
+    return [{"config": label, "executors": n}
+            for label in CONFIGS for n in executors]
+
+
+def run_point(point: dict, quick: bool = True) -> float:
+    return measure(point["executors"], quick, **CONFIGS[point["config"]])
+
+
+def assemble(values: list, quick: bool = True) -> FigureResult:
     executors = EXECUTORS_QUICK if quick else EXECUTORS_FULL
     fig = FigureResult(
         name="Fig 15", title="Distributed shuffle (push-based, all-to-all)",
         x_label="Executor Number", x_values=executors,
         y_label="Throughput (MOPS, entries)")
-    for label, kw in CONFIGS.items():
-        fig.add(label, [measure(n, quick, **kw) for n in executors])
+    it = iter(values)
+    for label in CONFIGS:
+        fig.add(label, [next(it) for _ in executors])
     basic = fig.get("Basic Shuffle").values[-1]
     sgl16 = fig.get("+SGL(Batch=16)").values[-1]
     sp16 = fig.get("+SP(Batch=16)").values[-1]
@@ -51,6 +64,10 @@ def run(quick: bool = True) -> FigureResult:
               f"{sp16 / basic:.1f}x", "~5.8x")
     fig.check("SP(16) >= SGL(16)", str(sp16 >= sgl16), "True")
     return fig
+
+
+def run(quick: bool = True) -> FigureResult:
+    return assemble([run_point(p, quick) for p in points(quick)], quick)
 
 
 def main(quick: bool = True) -> None:

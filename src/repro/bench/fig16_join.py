@@ -15,8 +15,10 @@ from __future__ import annotations
 from repro import build
 from repro.apps.join import DistributedJoin, JoinConfig, single_machine_join_ns
 from repro.bench.report import FigureResult
+from repro.bench.runner import bench_seed
 
-__all__ = ["run_batch", "run_threads", "main", "join_time_ns"]
+__all__ = ["run_batch", "run_threads", "main", "join_time_ns",
+           "points", "run_point", "assemble"]
 
 TARGET_TUPLES = 1 << 24
 BATCHES_FULL = [1, 2, 4, 8, 16, 32]
@@ -30,11 +32,38 @@ def join_time_ns(executors: int, batch: int, numa: bool,
     sample = 2048 if quick else 8192
     sim, cluster, ctx = build(machines=8)
     cfg = JoinConfig(executors=executors, batch=batch, numa=numa)
-    join = DistributedJoin(ctx, cfg, tuples_per_relation=sample, seed=9)
+    join = DistributedJoin(ctx, cfg, tuples_per_relation=sample,
+                           seed=bench_seed(9))
     return join.run().estimate_time_ns(target)
 
 
-def run_batch(quick: bool = True) -> FigureResult:
+def points(quick: bool = True) -> list:
+    batches = BATCHES_QUICK if quick else BATCHES_FULL
+    executors = EXECUTORS_QUICK if quick else EXECUTORS_FULL
+    pts = [{"panel": "batch", "theta": theta, "numa": numa, "batch": b}
+           for theta in (4, 16) for numa in (True, False)
+           for b in batches]
+    pts.extend({"panel": "threads", "lam": lam, "executors": n}
+               for lam in (4, 16) for n in executors)
+    return pts
+
+
+def run_point(point: dict, quick: bool = True) -> float:
+    if point["panel"] == "batch":
+        return join_time_ns(point["theta"], point["batch"], point["numa"],
+                            quick) / 1e9
+    return join_time_ns(point["executors"], point["lam"], True, quick)
+
+
+def assemble(values: list, quick: bool = True) -> list:
+    """Both panels, in points() order: [16a, 16b]."""
+    batches = BATCHES_QUICK if quick else BATCHES_FULL
+    n_batch = 4 * len(batches)
+    return [_assemble_batch(values[:n_batch], quick),
+            _assemble_threads(values[n_batch:], quick)]
+
+
+def _assemble_batch(values: list, quick: bool = True) -> FigureResult:
     batches = BATCHES_QUICK if quick else BATCHES_FULL
     fig = FigureResult(
         name="Fig 16a", title="Join execution time vs batch size "
@@ -42,12 +71,12 @@ def run_batch(quick: bool = True) -> FigureResult:
         x_label="Batch Size", x_values=batches,
         y_label="Execution Time (s)")
     series = {}
+    it = iter(values)
     for theta in (4, 16):
         for numa in (True, False):
             label = (f"theta={theta}" if numa
                      else f"(no NUMA) theta={theta}")
-            series[label] = [
-                join_time_ns(theta, b, numa, quick) / 1e9 for b in batches]
+            series[label] = [next(it) for _ in batches]
             fig.add(label, series[label])
     single_s = single_machine_join_ns(TARGET_TUPLES, TARGET_TUPLES) / 1e9
     fig.check("standalone baseline (s)", f"{single_s:.2f}", "6.46")
@@ -61,14 +90,20 @@ def run_batch(quick: bool = True) -> FigureResult:
     return fig
 
 
-def run_threads(quick: bool = True) -> FigureResult:
+def run_batch(quick: bool = True) -> FigureResult:
+    pts = [p for p in points(quick) if p["panel"] == "batch"]
+    return _assemble_batch([run_point(p, quick) for p in pts], quick)
+
+
+def _assemble_threads(values: list, quick: bool = True) -> FigureResult:
     executors = EXECUTORS_QUICK if quick else EXECUTORS_FULL
     fig = FigureResult(
         name="Fig 16b", title="Join inverse execution time vs executors",
         x_label="Thread Number", x_values=executors,
         y_label="1 / Execution Time (1/s)")
+    it = iter(values)
     for lam in (4, 16):
-        times = [join_time_ns(n, lam, True, quick) for n in executors]
+        times = [next(it) for _ in executors]
         fig.add(f"lambda={lam}", [1e9 / t for t in times])
     base = fig.get("lambda=16").values[0] / executors[0]
     fig.add("ideal", [base * n for n in executors])
@@ -77,6 +112,11 @@ def run_threads(quick: bool = True) -> FigureResult:
     fig.check("lambda=16 vs ideal at max executors",
               f"-{1 - l16[-1] / ideal[-1]:.0%}", "~-22%")
     return fig
+
+
+def run_threads(quick: bool = True) -> FigureResult:
+    pts = [p for p in points(quick) if p["panel"] == "threads"]
+    return _assemble_threads([run_point(p, quick) for p in pts], quick)
 
 
 def main(quick: bool = True) -> None:

@@ -12,7 +12,7 @@ from repro.apps.join import single_machine_join_ns
 from repro.bench.fig16_join import join_time_ns
 from repro.bench.report import FigureResult
 
-__all__ = ["run", "main"]
+__all__ = ["run", "main", "points", "run_point", "assemble"]
 
 SCALES = ["2^24", "2^25", "2^26"]
 _SCALE_TUPLES = {"2^24": 1 << 24, "2^25": 1 << 25, "2^26": 1 << 26}
@@ -26,22 +26,29 @@ CONFIGS = [
 ]
 
 
-def run(quick: bool = True) -> FigureResult:
+def points(quick: bool = True) -> list:
+    return [{"config": label, "scale": scale}
+            for label, _cfg in CONFIGS for scale in SCALES]
+
+
+def run_point(point: dict, quick: bool = True) -> float:
+    cfg = dict(CONFIGS)[point["config"]]
+    n = _SCALE_TUPLES[point["scale"]]
+    if cfg is None:
+        return single_machine_join_ns(n, n) / 1e9
+    theta, lam, numa = cfg
+    return join_time_ns(theta, lam, numa, quick, target=n) / 1e9
+
+
+def assemble(values: list, quick: bool = True) -> FigureResult:
     fig = FigureResult(
         name="Fig 17", title="Join breakdown vs data scale",
         x_label="Data Scale", x_values=SCALES,
         y_label="Time (s)")
     times: dict = {}
-    for label, cfg in CONFIGS:
-        vals = []
-        for scale in SCALES:
-            n = _SCALE_TUPLES[scale]
-            if cfg is None:
-                vals.append(single_machine_join_ns(n, n) / 1e9)
-            else:
-                theta, lam, numa = cfg
-                vals.append(join_time_ns(theta, lam, numa, quick,
-                                         target=n) / 1e9)
+    it = iter(values)
+    for label, _cfg in CONFIGS:
+        vals = [next(it) for _ in SCALES]
         times[label] = vals
         fig.add(label, vals)
     best = times["theta=16, lambda=16"][-1]
@@ -57,6 +64,10 @@ def run(quick: bool = True) -> FigureResult:
               f"{min(ratios):.2f}-{max(ratios):.2f}",
               "constant performance reduction")
     return fig
+
+
+def run(quick: bool = True) -> FigureResult:
+    return assemble([run_point(p, quick) for p in points(quick)], quick)
 
 
 def main(quick: bool = True) -> None:

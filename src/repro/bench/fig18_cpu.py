@@ -11,25 +11,32 @@ from __future__ import annotations
 from repro.bench.report import FigureResult
 from repro.bench.vector_io_common import batched_throughput
 
-__all__ = ["run", "main"]
+__all__ = ["run", "main", "points", "run_point", "assemble"]
 
 SIZES_FULL = [64, 256, 1024, 4096]
 BATCH = 16
 
 
-def run(quick: bool = True) -> FigureResult:
-    sizes = SIZES_FULL
+def points(quick: bool = True) -> list:
+    return [{"strategy": strategy, "size": s}
+            for strategy in ("sp", "sgl") for s in SIZES_FULL]
+
+
+def run_point(point: dict, quick: bool = True) -> float:
     n = 100 if quick else 300
+    return batched_throughput(point["strategy"], BATCH, point["size"],
+                              n_batches=n)["cpu_ns_per_entry"]
+
+
+def assemble(values: list, quick: bool = True) -> FigureResult:
+    sizes = SIZES_FULL
     fig = FigureResult(
         name="Fig 18", title="CPU consumption: SP vs SGL by entry size "
                              "(batch 16)",
         x_label="Entry Size (Bytes)", x_values=sizes,
         y_label="CPU ns per entry")
-    sp = [batched_throughput("sp", BATCH, s, n_batches=n)["cpu_ns_per_entry"]
-          for s in sizes]
-    sgl = [batched_throughput("sgl", BATCH, s,
-                              n_batches=n)["cpu_ns_per_entry"]
-           for s in sizes]
+    sp = list(values[:len(sizes)])
+    sgl = list(values[len(sizes):])
     fig.add("SP", sp)
     fig.add("SGL", sgl)
     fig.check("SGL CPU saving at 4096 B",
@@ -38,6 +45,10 @@ def run(quick: bool = True) -> FigureResult:
               f"{sgl[0]:.0f} -> {sgl[-1]:.0f} ns/entry",
               "no CPU involvement in the fetch phase")
     return fig
+
+
+def run(quick: bool = True) -> FigureResult:
+    return assemble([run_point(p, quick) for p in points(quick)], quick)
 
 
 def main(quick: bool = True) -> None:

@@ -12,7 +12,7 @@ from repro.apps.dlog import DistributedLog, LogConfig, TransactionEngine
 from repro.bench.report import FigureResult
 from repro.sim.stats import mops
 
-__all__ = ["run", "measure", "main"]
+__all__ = ["run", "measure", "main", "points", "run_point", "assemble"]
 
 BATCHES_FULL = [1, 2, 4, 8, 16, 32]
 BATCHES_QUICK = [1, 4, 16, 32]
@@ -44,7 +44,20 @@ def measure(n_engines: int, batch: int, numa: bool,
     return mops(total, sim.now - t0)
 
 
-def run(quick: bool = True) -> FigureResult:
+def points(quick: bool = True) -> list:
+    batches = BATCHES_QUICK if quick else BATCHES_FULL
+    engine_counts = ENGINES if not quick else [7, 14]
+    return [{"engines": n, "numa": numa, "batch": b}
+            for n in engine_counts for numa in (False, True)
+            for b in batches]
+
+
+def run_point(point: dict, quick: bool = True) -> float:
+    return measure(point["engines"], point["batch"], numa=point["numa"],
+                   quick=quick)
+
+
+def assemble(values: list, quick: bool = True) -> FigureResult:
     batches = BATCHES_QUICK if quick else BATCHES_FULL
     fig = FigureResult(
         name="Fig 19", title="Distributed log (512 B records, FAA-reserved "
@@ -52,11 +65,10 @@ def run(quick: bool = True) -> FigureResult:
         x_label="Batch Size", x_values=batches,
         y_label="Throughput (MOPS, records)")
     engine_counts = ENGINES if not quick else [7, 14]
+    it = iter(values)
     for n in engine_counts:
-        fig.add(f"{n} TX engines (*)",
-                [measure(n, b, numa=False, quick=quick) for b in batches])
-        fig.add(f"{n} TX engines",
-                [measure(n, b, numa=True, quick=quick) for b in batches])
+        fig.add(f"{n} TX engines (*)", [next(it) for _ in batches])
+        fig.add(f"{n} TX engines", [next(it) for _ in batches])
     aware14 = fig.get("14 TX engines").values[-1]
     naive14 = fig.get("14 TX engines (*)").values[-1]
     fig.check("14 engines, batch 32: NUMA-aware (MOPS)",
@@ -70,6 +82,10 @@ def run(quick: bool = True) -> FigureResult:
               f"{b7[-1] / b7[0]:.1f}x", "~9.1x")
     fig.notes.append("(*) = without NUMA awareness")
     return fig
+
+
+def run(quick: bool = True) -> FigureResult:
+    return assemble([run_point(p, quick) for p in points(quick)], quick)
 
 
 def main(quick: bool = True) -> None:

@@ -1,0 +1,365 @@
+"""Parallel sweep campaigns: multi-core point fan-out + point cache.
+
+Every bench target builds a **fresh rig per sweep point** (see
+:mod:`repro.bench.runner`), which makes points embarrassingly parallel:
+the unit of parallelism is the *configuration*, exactly as in the paper's
+per-configuration measurement protocol.  This module decomposes a
+target's sweep into independent point tasks, fans them out over a
+``multiprocessing`` pool, and merges results back in **canonical sweep
+order**, so the assembled :class:`~repro.bench.report.FigureResult`
+tables — and the perf harness's SHA-256 schedule digests — are
+bit-identical to a serial run.
+
+Target-module contract (duck-typed; every ``fig*``/``ext*``/``table*``
+module implements it):
+
+``points(quick) -> list[dict]``
+    The sweep decomposed into JSON-serializable point descriptors in
+    canonical order.  A point is self-contained: together with ``quick``
+    and the campaign seed it fully determines one measurement.
+
+``run_point(point, quick) -> value``
+    Runs one point on a fresh rig and returns a JSON-native value
+    (float / int / str / bool / list / dict-with-str-keys).  Pure: no
+    reads of module state mutated by other points.
+
+``assemble(values, quick) -> FigureResult | list[FigureResult]``
+    Zips the per-point values (aligned with ``points(quick)``) back into
+    the target's figure panel(s), including the paper-anchor checks.
+
+The serial path (``module.run(...)``) iterates the same
+``points``/``run_point`` pair inline; the parallel path only changes
+*where* each point executes, never what it computes — that is the whole
+determinism contract (docs/PERFORMANCE.md, "Parallel campaigns").
+
+**Point cache.**  Results are content-addressed: the key digests the
+point descriptor, quick mode, campaign seed, the default
+:class:`~repro.hw.HardwareParams` fingerprint, the target module's own
+source bytes, and the package version.  Re-running ``repro-bench all``
+after editing one figure module or one hardware constant therefore only
+recomputes the invalidated points; everything else is a cache hit.
+Corrupted or truncated entries fall back to recompute and are rewritten.
+
+CLI (used by ``make perf-quick`` as the merge-determinism smoke check)::
+
+    python -m repro.bench.parallel <target> [--jobs N] [--full]
+
+runs the target's sweep serially and through the pool and fails loudly on
+any digest difference between the two merges.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import importlib
+import json
+import multiprocessing
+import os
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro import HardwareParams, __version__
+from repro.bench import TARGETS
+from repro.bench.report import FigureResult
+from repro.bench.runner import set_campaign_seed
+
+__all__ = [
+    "CampaignError",
+    "CampaignResult",
+    "PointCache",
+    "compute_points",
+    "default_jobs",
+    "figures_digest",
+    "normalize",
+    "point_capable",
+    "point_key",
+    "run_campaign",
+]
+
+#: Default on-disk cache location (repo root when invoked via Makefile).
+DEFAULT_CACHE_DIR = ".bench-cache"
+
+
+class CampaignError(RuntimeError):
+    """A sweep point failed: the whole campaign fails, loudly.
+
+    Partial tables are never emitted — a figure either reflects every
+    point of its sweep or nothing at all.
+    """
+
+
+@dataclass
+class CampaignResult:
+    """One target's assembled figures plus campaign accounting."""
+
+    target: str
+    figures: list[FigureResult]
+    n_points: int
+    n_computed: int
+    n_cached: int
+    wall_s: float = 0.0
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def stats_line(self) -> str:
+        return (f"{self.n_points} points: {self.n_computed} computed, "
+                f"{self.n_cached} cached")
+
+
+# ------------------------------------------------------------------ keys
+def normalize(value: Any) -> Any:
+    """Round-trip a point value through JSON.
+
+    Forces computed and cached values onto identical types (tuples become
+    lists, dict keys become strings); floats survive exactly — ``repr``
+    round-trips every finite double bit-for-bit.
+    """
+    return json.loads(json.dumps(value))
+
+
+def _hw_fingerprint() -> str:
+    """Digest of the default frozen HardwareParams (the calibration)."""
+    import dataclasses
+    p = HardwareParams()
+    blob = json.dumps(dataclasses.asdict(p), sort_keys=True, default=repr)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+_MODULE_SRC_DIGESTS: dict[str, str] = {}
+
+
+def _module_src_digest(module_name: str) -> str:
+    """Digest of the target module's source file — editing one figure
+    module invalidates exactly that figure's cached points."""
+    cached = _MODULE_SRC_DIGESTS.get(module_name)
+    if cached is not None:
+        return cached
+    spec = importlib.util.find_spec(module_name)
+    if spec is None or not spec.origin or not os.path.isfile(spec.origin):
+        digest = "no-source"
+    else:
+        with open(spec.origin, "rb") as fh:
+            digest = hashlib.sha256(fh.read()).hexdigest()
+    _MODULE_SRC_DIGESTS[module_name] = digest
+    return digest
+
+
+def point_key(module_name: str, point: dict, quick: bool, seed: int) -> str:
+    """Content address of one sweep point's result."""
+    blob = json.dumps({
+        "module": module_name,
+        "module_src": _module_src_digest(module_name),
+        "point": point,
+        "quick": bool(quick),
+        "seed": int(seed),
+        "hw": _hw_fingerprint(),
+        "version": __version__,
+    }, sort_keys=True)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+# ----------------------------------------------------------------- cache
+class PointCache:
+    """Content-addressed store of point results under one directory.
+
+    Layout: ``<root>/<key[:2]>/<key>.json`` holding the key, a
+    human-readable provenance block, and the value.  Writes go through a
+    temp file + ``os.replace`` so a crashed campaign never leaves a
+    half-written entry; reads treat *anything* unexpected (bad JSON,
+    foreign key, missing field) as a miss and recompute.
+    """
+
+    def __init__(self, root: str):
+        self.root = root
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], key + ".json")
+
+    def get(self, key: str) -> tuple[bool, Any]:
+        """(hit, value); corrupted entries are misses, never errors."""
+        try:
+            with open(self._path(key)) as fh:
+                data = json.load(fh)
+            if not isinstance(data, dict) or data.get("key") != key \
+                    or "value" not in data:
+                raise ValueError("foreign or truncated cache entry")
+            self.hits += 1
+            return True, data["value"]
+        except (OSError, ValueError):
+            self.misses += 1
+            return False, None
+
+    def put(self, key: str, value: Any, meta: Optional[dict] = None) -> None:
+        path = self._path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        tmp = path + f".tmp.{os.getpid()}"
+        with open(tmp, "w") as fh:
+            json.dump({"key": key, "meta": meta or {}, "value": value}, fh)
+        os.replace(tmp, path)
+
+
+# ------------------------------------------------------------- execution
+def point_capable(module) -> bool:
+    """Does this target module implement the points contract?"""
+    return all(hasattr(module, a) for a in ("points", "run_point",
+                                            "assemble"))
+
+
+def default_jobs() -> int:
+    """``--jobs auto``: one worker per usable core."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return max(1, os.cpu_count() or 1)
+
+
+def _run_point_task(task: tuple) -> tuple:
+    """Pool worker: run one point; never let an exception escape unpaired.
+
+    Returns ("ok", value) or ("err", description) so the parent can name
+    the exact failing point instead of surfacing a bare pickled traceback.
+    """
+    module_name, point, quick, seed = task
+    set_campaign_seed(seed)
+    try:
+        module = importlib.import_module(module_name)
+        return "ok", normalize(module.run_point(point, quick))
+    except Exception as exc:  # noqa: BLE001 - reported as campaign failure
+        return "err", f"{type(exc).__name__}: {exc}"
+
+
+def compute_points(module_name: str, points: list[dict], quick: bool = True,
+                   jobs: int = 1, seed: int = 0,
+                   cache: Optional[PointCache] = None,
+                   ) -> tuple[list[Any], int, int]:
+    """Compute every point's value, in canonical order.
+
+    Returns ``(values, n_computed, n_cached)``.  Cache lookups happen in
+    the parent; only misses are fanned out; results are merged back by
+    point *index*, so the output order never depends on pool scheduling.
+    Any failed point raises :class:`CampaignError` — no partial tables.
+    """
+    n = len(points)
+    values: list[Any] = [None] * n
+    keys: list[Optional[str]] = [None] * n
+    misses: list[int] = []
+    if cache is not None:
+        for i, point in enumerate(points):
+            keys[i] = point_key(module_name, point, quick, seed)
+            hit, value = cache.get(keys[i])
+            if hit:
+                values[i] = value
+            else:
+                misses.append(i)
+    else:
+        misses = list(range(n))
+
+    if misses:
+        tasks = [(module_name, points[i], quick, seed) for i in misses]
+        if jobs > 1 and len(misses) > 1:
+            ctx = multiprocessing.get_context(
+                "fork" if "fork" in multiprocessing.get_all_start_methods()
+                else "spawn")
+            with ctx.Pool(processes=min(jobs, len(misses))) as pool:
+                outcomes = pool.map(_run_point_task, tasks, chunksize=1)
+        else:
+            outcomes = [_run_point_task(t) for t in tasks]
+        failures = [(points[i], detail)
+                    for i, (status, detail) in zip(misses, outcomes)
+                    if status != "ok"]
+        if failures:
+            lines = "\n".join(f"  point {json.dumps(p)}: {d}"
+                              for p, d in failures)
+            raise CampaignError(
+                f"{module_name}: {len(failures)}/{len(misses)} points "
+                f"failed — no tables emitted:\n{lines}")
+        for i, (_status, value) in zip(misses, outcomes):
+            values[i] = value
+            if cache is not None:
+                cache.put(keys[i], value,
+                          meta={"module": module_name, "point": points[i],
+                                "quick": quick, "seed": seed,
+                                "version": __version__})
+    return values, len(misses), n - len(misses)
+
+
+def run_campaign(target: str, quick: bool = True, jobs: int = 1,
+                 cache_dir: Optional[str] = DEFAULT_CACHE_DIR,
+                 seed: int = 0) -> CampaignResult:
+    """Run one bench target as a point campaign and assemble its figures.
+
+    ``cache_dir=None`` disables the point cache.  ``jobs=1`` computes the
+    misses inline (still through the exact same task wrapper the pool
+    uses, so serial and parallel campaigns share one code path).
+    """
+    module_name = TARGETS[target]
+    module = importlib.import_module(module_name)
+    if not point_capable(module):
+        raise CampaignError(
+            f"{target} ({module_name}) does not expose the "
+            "points/run_point/assemble contract")
+    set_campaign_seed(seed)
+    t0 = time.perf_counter()
+    points = module.points(quick)
+    cache = PointCache(cache_dir) if cache_dir else None
+    values, n_computed, n_cached = compute_points(
+        module_name, points, quick=quick, jobs=jobs, seed=seed, cache=cache)
+    figures = module.assemble(values, quick)
+    if isinstance(figures, FigureResult):
+        figures = [figures]
+    return CampaignResult(target=target, figures=list(figures),
+                          n_points=len(points), n_computed=n_computed,
+                          n_cached=n_cached,
+                          wall_s=time.perf_counter() - t0)
+
+
+# ---------------------------------------------------------------- digest
+def figures_digest(figures: list[FigureResult]) -> str:
+    """Machine-independent SHA-256 over the figures' x-axes and series —
+    the same content the perf harness digests per scenario."""
+    blob = json.dumps([{
+        "name": fig.name,
+        "x": [str(x) for x in fig.x_values],
+        "series": {s.label: s.values for s in fig.series},
+    } for fig in figures], sort_keys=True, default=repr)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+# ------------------------------------------------------------------- CLI
+def main(argv: Optional[list[str]] = None) -> int:
+    """Merge-determinism self-check: serial vs pooled digest of a target."""
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.parallel",
+        description="run one bench target serially and through the worker "
+                    "pool; fail on any digest difference between the "
+                    "merged tables")
+    parser.add_argument("target", choices=sorted(TARGETS))
+    parser.add_argument("--jobs", type=int, default=2)
+    parser.add_argument("--full", action="store_true")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    quick = not args.full
+    serial = run_campaign(args.target, quick=quick, jobs=1, cache_dir=None,
+                          seed=args.seed)
+    pooled = run_campaign(args.target, quick=quick, jobs=args.jobs,
+                          cache_dir=None, seed=args.seed)
+    d_serial = figures_digest(serial.figures)
+    d_pooled = figures_digest(pooled.figures)
+    print(f"{args.target}: {serial.n_points} points; serial {d_serial[:12]} "
+          f"({serial.wall_s:.1f}s) vs --jobs {args.jobs} {d_pooled[:12]} "
+          f"({pooled.wall_s:.1f}s)")
+    if d_serial != d_pooled:
+        print("MERGE-DETERMINISM FAILURE: parallel campaign tables differ "
+              "from the serial run")
+        return 1
+    print("merge determinism ok: tables bit-identical")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -55,6 +55,42 @@ def _engine_dispatch(horizon_ns: float = 2_000_000.0) -> dict:
     return {"events": sim.events_processed, "now": sim.now}
 
 
+def _sweep_parallel() -> dict:
+    """Campaign merge determinism: fig1 quick, serial vs 4 workers.
+
+    Runs the same point campaign twice — inline and fanned out over a
+    4-worker pool — and digests the *merged figures*, which must be
+    bit-identical.  A mismatch fails here (and would fail the gate too,
+    since the scenario digest covers the figure digest).  The wall-clock
+    comparison lands in ``_metrics``, which is excluded from the digest:
+    speedup depends on core count, determinism does not.
+    """
+    from repro.bench import parallel
+
+    serial = parallel.run_campaign("fig1", quick=True, jobs=1,
+                                   cache_dir=None)
+    pooled = parallel.run_campaign("fig1", quick=True, jobs=4,
+                                   cache_dir=None)
+    d_serial = parallel.figures_digest(serial.figures)
+    d_pooled = parallel.figures_digest(pooled.figures)
+    if d_serial != d_pooled:
+        raise AssertionError(
+            "parallel merge is not deterministic: "
+            f"serial {d_serial[:12]} != jobs=4 {d_pooled[:12]}")
+    serial_rate = serial.n_points / serial.wall_s if serial.wall_s else 0.0
+    pooled_rate = pooled.n_points / pooled.wall_s if pooled.wall_s else 0.0
+    return {
+        "figures_digest": d_serial,
+        "n_points": serial.n_points,
+        "_metrics": {
+            "serial_points_per_sec": round(serial_rate, 2),
+            "jobs4_points_per_sec": round(pooled_rate, 2),
+            "jobs4_speedup": round(pooled_rate / serial_rate, 2)
+            if serial_rate else 0.0,
+        },
+    }
+
+
 def _figure(module_name: str) -> Callable[[], dict]:
     def runner() -> dict:
         module = importlib.import_module(module_name)
@@ -76,6 +112,7 @@ SCENARIOS: dict[str, Callable[[], dict]] = {
     "fig5": _figure("repro.bench.fig05_threads"),
     "ext6": _figure("repro.bench.ext6_multitenant"),
     "ext7": _figure("repro.bench.ext7_fault_recovery"),
+    "sweep_parallel": _sweep_parallel,
 }
 
 #: The smoke-friendly subset (`make perf-quick`).
@@ -103,12 +140,18 @@ def run_scenarios(names: Optional[list[str]] = None) -> dict:
         outcome = fn()
         wall = time.perf_counter() - t0
         events = Simulator.total_events - events_before
-        out["scenarios"][name] = {
+        # ``_metrics`` carries wall-clock-derived numbers (e.g. parallel
+        # speedup) that vary across machines; keep them out of the digest.
+        metrics = outcome.pop("_metrics", None)
+        row = {
             "wall_s": round(wall, 4),
             "events": events,
             "events_per_sec": round(events / wall) if wall > 0 else 0,
             "digest": _digest(outcome),
         }
+        if metrics:
+            row["metrics"] = metrics
+        out["scenarios"][name] = row
     return out
 
 

@@ -36,7 +36,44 @@ from repro.sim import Event, Simulator
 from repro.sim.stats import mops
 from repro.verbs import Opcode, QueuePair, RdmaContext, Sge, Worker, WorkRequest
 
-__all__ = ["PipelinedClient", "drive_all", "fresh_rig", "measure_clients"]
+__all__ = ["PipelinedClient", "bench_seed", "campaign_seed", "drive_all",
+           "fresh_rig", "measure_clients", "set_campaign_seed"]
+
+
+#: Campaign-wide seed offset (see ``bench_seed``).  0 is the published
+#: default: every figure uses its historical per-module seeds and the
+#: perf harness digests stay pinned.
+_CAMPAIGN_SEED = 0
+
+
+def set_campaign_seed(seed: int) -> None:
+    """Select the campaign seed for this process (CLI ``--seed``).
+
+    The parallel campaign layer calls this in every worker process before
+    running a point, so ``--seed N`` campaigns are reproducible no matter
+    how points are scheduled across the pool.
+    """
+    global _CAMPAIGN_SEED
+    _CAMPAIGN_SEED = int(seed)
+
+
+def campaign_seed() -> int:
+    """The currently selected campaign seed (0 = paper default)."""
+    return _CAMPAIGN_SEED
+
+
+def bench_seed(base: int) -> int:
+    """Derive a module rng seed from its historical ``base`` seed.
+
+    With the default campaign seed 0 this is the identity, so default-run
+    schedules (and their SHA-256 digests) never move.  A non-zero campaign
+    seed mixes deterministically with ``base`` via an odd multiplier, so
+    alternate-seed campaigns re-draw every stream while distinct base
+    seeds keep distinct streams.
+    """
+    if _CAMPAIGN_SEED == 0:
+        return base
+    return (base + _CAMPAIGN_SEED * 0x9E3779B1) % (1 << 63)
 
 
 def fresh_rig(machines: int = 2, params: Optional[HardwareParams] = None,

@@ -12,14 +12,22 @@ from repro.hw import HardwareParams
 from repro.hw.dram import DramModel
 from repro.hw.numa import NumaTopology
 
-__all__ = ["run", "main"]
+__all__ = ["run", "main", "points", "run_point", "assemble"]
 
 
-def run(quick: bool = True) -> FigureResult:
+def points(quick: bool = True) -> list:
+    return [{"mem_socket": 0}, {"mem_socket": 1}]
+
+
+def run_point(point: dict, quick: bool = True) -> list:
     p = HardwareParams()
     dram = DramModel(p, NumaTopology(p))
-    local_lat, local_bw = dram.mlc_probe(0, 0)
-    remote_lat, remote_bw = dram.mlc_probe(0, 1)
+    lat, bw = dram.mlc_probe(0, point["mem_socket"])
+    return [lat, bw]
+
+
+def assemble(values: list, quick: bool = True) -> FigureResult:
+    (local_lat, local_bw), (remote_lat, remote_bw) = values
     fig = FigureResult(
         name="Table II", title="Local vs remote socket DRAM (MLC probe)",
         x_label="Type", x_values=["local socket", "remote socket"],
@@ -31,6 +39,10 @@ def run(quick: bool = True) -> FigureResult:
     fig.check("remote socket", f"{remote_lat:.0f} ns / {remote_bw:.2f} GB/s",
               "162 ns / 2.27 GB/s")
     return fig
+
+
+def run(quick: bool = True) -> FigureResult:
+    return assemble([run_point(p, quick) for p in points(quick)], quick)
 
 
 def main(quick: bool = True) -> None:

@@ -19,7 +19,9 @@ from repro.bench.report import FigureResult
 from repro.bench.runner import PipelinedClient, drive_all, read_wr, write_wr
 from repro.verbs import Worker
 
-__all__ = ["run", "main"]
+__all__ = ["run", "main", "points", "run_point", "assemble"]
+
+_PLACEMENTS = ["own", "alt"]
 
 
 def _measure(local_core: int, local_mem: int, remote_core: int,
@@ -53,8 +55,24 @@ def _measure(local_core: int, local_mem: int, remote_core: int,
     return latency_us, client.mops
 
 
-def run(quick: bool = True) -> FigureResult:
-    placements = ["own", "alt"]
+def points(quick: bool = True) -> list:
+    rows = list(itertools.product(_PLACEMENTS, _PLACEMENTS))
+    cols = list(itertools.product(_PLACEMENTS, _PLACEMENTS))
+    return [{"lc": lc, "lm": lm, "rc": rc, "rm": rm, "op": op}
+            for lc, lm in rows for rc, rm in cols
+            for op in ("read", "write")]
+
+
+def run_point(point: dict, quick: bool = True) -> list:
+    lat, thr = _measure(
+        0 if point["lc"] == "own" else 1, 0 if point["lm"] == "own" else 1,
+        0 if point["rc"] == "own" else 1, 0 if point["rm"] == "own" else 1,
+        point["op"], quick)
+    return [lat, thr]
+
+
+def assemble(values: list, quick: bool = True) -> FigureResult:
+    placements = _PLACEMENTS
     cols = list(itertools.product(placements, placements))  # remote side
     rows = list(itertools.product(placements, placements))  # local side
     fig = FigureResult(
@@ -64,13 +82,9 @@ def run(quick: bool = True) -> FigureResult:
         x_values=[f"{c}-core/{m}-mem" for c, m in rows],
         y_label="READ us/MOPS | WRITE us/MOPS per remote placement")
     cells: dict = {}
-    for (lc, lm) in rows:
-        for (rc, rm) in cols:
-            for op in ("read", "write"):
-                cells[(lc, lm, rc, rm, op)] = _measure(
-                    0 if lc == "own" else 1, 0 if lm == "own" else 1,
-                    0 if rc == "own" else 1, 0 if rm == "own" else 1,
-                    op, quick)
+    for point, value in zip(points(quick), values):
+        cells[(point["lc"], point["lm"], point["rc"], point["rm"],
+               point["op"])] = tuple(value)
     for (rc, rm) in cols:
         for op in ("read", "write"):
             fig.add(f"remote {rc}-core/{rm}-mem {op} (us)",
@@ -92,6 +106,10 @@ def run(quick: bool = True) -> FigureResult:
         "~31%/49% cell spread (their quoted 55% mixes in next-gen RNIC "
         "projections) — see EXPERIMENTS.md")
     return fig
+
+
+def run(quick: bool = True) -> FigureResult:
+    return assemble([run_point(p, quick) for p in points(quick)], quick)
 
 
 def main(quick: bool = True) -> None:

@@ -35,48 +35,72 @@ class DramModel:
     def __init__(self, params: HardwareParams, topology: NumaTopology):
         self.params = params
         self.topology = topology
+        # These cost functions sit inside closed benchmark loops, so hoist
+        # everything that is a pure function of the (frozen) params and
+        # topology out of the per-op path.  HardwareParams is immutable: a
+        # changed config builds a new model, so nothing here can go stale.
+        self._write_base = {
+            AccessPattern.SEQUENTIAL: params.local_seq_write_ns,
+            AccessPattern.RANDOM: params.local_rand_write_ns,
+        }
+        self._read_base = {
+            AccessPattern.SEQUENTIAL: params.local_seq_read_ns,
+            AccessPattern.RANDOM: params.local_rand_read_ns,
+        }
+        n = topology.n_sockets
+        # (bandwidth, random cross penalty, sequential cross penalty) per
+        # (core socket, mem socket) pair.  Random access across sockets
+        # pays the latency delta on every miss (the "inter-socket random
+        # write is 6.85x slower" effect); sequential streams hide all but
+        # a sliver of the hop cost behind prefetch.
+        self._numa = tuple(
+            tuple((topology.dram_bandwidth(a, b),
+                   topology.dram_latency(a, b)
+                   - params.dram_local_latency_ns
+                   if topology.hops(a, b) else 0.0,
+                   topology.hops(a, b) * params.qpi_hop_ns * 0.1
+                   if topology.hops(a, b) else 0.0)
+                  for b in range(n))
+            for a in range(n)
+        )
+        self._memcpy_base = params.memcpy_base_ns
+        self._writev_entry = params.local_writev_entry_ns
+        self._readv_entry = params.local_readv_entry_ns
+        self._cache_bw = params.cache_bw_Bns
 
     # -- single ops (Fig 6c) ------------------------------------------------
     def write_ns(self, nbytes: int, pattern: AccessPattern,
                  core_socket: int = 0, mem_socket: int = 0) -> float:
         """Cost of one store of ``nbytes`` under ``pattern``."""
-        self._check_size(nbytes)
-        base = (
-            self.params.local_seq_write_ns
-            if pattern is AccessPattern.SEQUENTIAL
-            else self.params.local_rand_write_ns
-        )
-        return self._with_numa(base, nbytes, core_socket, mem_socket,
+        if nbytes < 0:
+            raise ValueError(f"negative size: {nbytes}")
+        return self._with_numa(self._write_base[pattern], nbytes,
+                               core_socket, mem_socket,
                                random=pattern is AccessPattern.RANDOM)
 
     def read_ns(self, nbytes: int, pattern: AccessPattern,
                 core_socket: int = 0, mem_socket: int = 0) -> float:
         """Cost of one load of ``nbytes`` under ``pattern``."""
-        self._check_size(nbytes)
-        base = (
-            self.params.local_seq_read_ns
-            if pattern is AccessPattern.SEQUENTIAL
-            else self.params.local_rand_read_ns
-        )
-        return self._with_numa(base, nbytes, core_socket, mem_socket,
+        if nbytes < 0:
+            raise ValueError(f"negative size: {nbytes}")
+        return self._with_numa(self._read_base[pattern], nbytes,
+                               core_socket, mem_socket,
                                random=pattern is AccessPattern.RANDOM)
 
     def _with_numa(self, base: float, nbytes: int, core_socket: int,
                    mem_socket: int, random: bool) -> float:
-        bw = self.topology.dram_bandwidth(core_socket, mem_socket)
+        if core_socket < 0 or mem_socket < 0:
+            raise ValueError(f"socket out of range: "
+                             f"({core_socket}, {mem_socket})")
+        try:
+            bw, rand_extra, seq_extra = self._numa[core_socket][mem_socket]
+        except IndexError:
+            raise ValueError(f"socket out of range: "
+                             f"({core_socket}, {mem_socket})") from None
         cost = base + nbytes / bw
-        hops = self.topology.hops(core_socket, mem_socket)
-        if hops:
-            # Random access across sockets additionally pays the latency
-            # delta on every miss (the "inter-socket random write is 6.85x
-            # slower" effect); sequential streams hide it behind prefetch.
-            if random:
-                cost += (
-                    self.topology.dram_latency(core_socket, mem_socket)
-                    - self.params.dram_local_latency_ns
-                )
-            else:
-                cost += hops * self.params.qpi_hop_ns * 0.1  # mostly hidden
+        extra = rand_extra if random else seq_extra
+        if extra:
+            cost += extra
         return cost
 
     # -- vector ops (Fig 4 Local-W / Local-R) --------------------------------
@@ -85,27 +109,31 @@ class DramModel:
         syscall-ish fixed cost plus a per-entry cost; small batched entries
         stream at cache bandwidth."""
         self._check_sizes(sizes)
-        per_entry = self.params.local_writev_entry_ns
-        stream = sum(sizes) / self.params.cache_bw_Bns
-        return self.params.memcpy_base_ns + per_entry * len(sizes) + stream
+        return (self._memcpy_base + self._writev_entry * len(sizes)
+                + sum(sizes) / self._cache_bw)
 
     def readv_ns(self, sizes: list[int]) -> float:
         """Batched local read of several buffers (readv model)."""
         self._check_sizes(sizes)
-        per_entry = self.params.local_readv_entry_ns
-        stream = sum(sizes) / self.params.cache_bw_Bns
-        return self.params.memcpy_base_ns + per_entry * len(sizes) + stream
+        return (self._memcpy_base + self._readv_entry * len(sizes)
+                + sum(sizes) / self._cache_bw)
 
     # -- memcpy (the SP batcher's gather phase) -------------------------------
     def memcpy_ns(self, nbytes: int, core_socket: int = 0,
                   src_socket: int = 0, dst_socket: int = 0) -> float:
         """One buffer copy by a core, with NUMA-aware bandwidth."""
-        self._check_size(nbytes)
-        bw = min(
-            self.topology.dram_bandwidth(core_socket, src_socket),
-            self.topology.dram_bandwidth(core_socket, dst_socket),
-        )
-        return self.params.memcpy_base_ns + nbytes / bw
+        if nbytes < 0:
+            raise ValueError(f"negative size: {nbytes}")
+        if core_socket < 0 or src_socket < 0 or dst_socket < 0:
+            raise ValueError(f"socket out of range: ({core_socket}, "
+                             f"{src_socket}, {dst_socket})")
+        try:
+            row = self._numa[core_socket]
+            bw = min(row[src_socket][0], row[dst_socket][0])
+        except IndexError:
+            raise ValueError(f"socket out of range: ({core_socket}, "
+                             f"{src_socket}, {dst_socket})") from None
+        return self._memcpy_base + nbytes / bw
 
     # -- Table II probe --------------------------------------------------------
     def mlc_probe(self, core_socket: int, mem_socket: int) -> tuple[float, float]:

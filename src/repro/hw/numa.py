@@ -45,6 +45,18 @@ class NumaTopology:
         self._mmio = tuple(
             tuple(params.mmio_ns + c for c in row) for row in self._cross
         )
+        self._dram_lat = tuple(
+            tuple(params.dram_local_latency_ns if h == 0
+                  else params.dram_remote_latency_ns
+                  + (h - 1) * params.qpi_hop_ns
+                  for h in row)
+            for row in self._hops
+        )
+        self._dram_bw = tuple(
+            tuple(params.dram_local_bw_Bns if h == 0
+                  else params.dram_remote_bw_Bns for h in row)
+            for row in self._hops
+        )
         #: Memoized dma_time results keyed (device, mem, nbytes, segments);
         #: bounded so adversarial size sweeps cannot grow it unchecked.
         self._dma_cache: dict = {}
@@ -69,18 +81,20 @@ class NumaTopology:
         return self._cross[socket_a][socket_b]
 
     def dram_latency(self, core_socket: int, mem_socket: int) -> float:
-        """Load latency from a core to memory (Table II: 92 vs 162 ns)."""
-        if self.hops(core_socket, mem_socket) == 0:
-            return self.params.dram_local_latency_ns
-        # Each extra hop beyond the first adds another QPI traversal.
-        extra = (self.hops(core_socket, mem_socket) - 1) * self.params.qpi_hop_ns
-        return self.params.dram_remote_latency_ns + extra
+        """Load latency from a core to memory (Table II: 92 vs 162 ns).
+
+        One hop pays the remote-socket latency; each extra hop beyond the
+        first adds another QPI traversal (precomputed in ``_dram_lat``).
+        """
+        self._check(core_socket)
+        self._check(mem_socket)
+        return self._dram_lat[core_socket][mem_socket]
 
     def dram_bandwidth(self, core_socket: int, mem_socket: int) -> float:
         """Stream bandwidth, B/ns (Table II: 3.70 vs 2.27 GB/s)."""
-        if self.hops(core_socket, mem_socket) == 0:
-            return self.params.dram_local_bw_Bns
-        return self.params.dram_remote_bw_Bns
+        self._check(core_socket)
+        self._check(mem_socket)
+        return self._dram_bw[core_socket][mem_socket]
 
     def dma_time(self, device_socket: int, mem_socket: int, nbytes: int,
                  segments: int = 1) -> float:
