@@ -21,21 +21,22 @@ lint:
 		     $(PY) -m compileall -q src tests benchmarks examples; }
 
 # Fast end-to-end sanity: build the model, run the quickstart example,
-# gate the simulator fast path (engine microbench + fig5) against the
-# committed perf baseline, and run the invariant-check suite.
+# gate the simulator fast path (engine microbench + fig5 + ext8 txn)
+# against the committed perf baseline, and run the invariant-check suite.
 smoke: perf-quick check
 	PYTHONPATH=src $(PY) examples/quickstart.py
 
-# Invariant sanitizer suite (docs/CHECKING.md): the four applications plus
-# an ext7-style fault-injection scenario, with every repro.check checker
-# enabled; fails on any reported violation.
+# Invariant sanitizer suite (docs/CHECKING.md): the four applications, an
+# ext7-style fault-injection scenario, and a contended OCC transaction
+# soak under loss chaos, with every repro.check checker enabled; fails on
+# any reported violation.
 check:
 	PYTHONPATH=src $(PY) -m repro.check
 
 # Fast-path performance gate (see docs/PERFORMANCE.md): times the engine
-# dispatch microbenchmark and the fig1/fig5/ext6/ext7 quick sweeps, then
-# fails on a >20% events/sec drop or ANY schedule-digest change vs the
-# committed BENCH_perf.json.
+# dispatch microbenchmark and the fig1/fig5/ext6/ext7/ext8 quick sweeps,
+# then fails on a >20% events/sec drop or ANY schedule-digest change vs
+# the committed BENCH_perf.json.
 perf:
 	PYTHONPATH=src $(PY) -m repro.bench.perf check
 

@@ -7,12 +7,17 @@
 * :mod:`repro.apps.join` — distributed join built on the shuffle;
 * :mod:`repro.apps.dlog` — distributed log (scenario III: replication
   to remote memory for reliability).
+
+Plus one extension beyond the paper: :mod:`repro.apps.txn`, a
+transactional dataplane (one-sided OCC) over the disaggregated store
+(docs/TXN.md).
 """
 
 from repro.apps.hashtable import DisaggregatedHashTable, FrontEnd, HashTableBackend
 from repro.apps.shuffle import DistributedShuffle, ShuffleConfig
 from repro.apps.join import DistributedJoin, JoinConfig
 from repro.apps.dlog import DistributedLog, LogConfig, TransactionEngine
+from repro.apps.txn import RpcTxnServer, TxnClient, TxnConfig, TxnStore
 
 __all__ = [
     "DisaggregatedHashTable",
@@ -23,6 +28,10 @@ __all__ = [
     "HashTableBackend",
     "JoinConfig",
     "LogConfig",
+    "RpcTxnServer",
     "ShuffleConfig",
     "TransactionEngine",
+    "TxnClient",
+    "TxnConfig",
+    "TxnStore",
 ]

@@ -1,0 +1,36 @@
+"""Transactional dataplane over the disaggregated store (extension).
+
+Multi-key read-write transactions using only one-sided verbs, in the
+style of Storm: versioned reads, an optimistic validate-and-commit phase
+driven by CAS on per-key version/lock words, write-back on success, and
+aborts with truncated exponential backoff.  The two-sided comparison
+point (:mod:`repro.apps.txn.rpc_baseline`) executes whole transactions
+server-side instead.
+
+See docs/TXN.md for the protocol walkthrough and the serializability
+oracle contract.
+"""
+
+from repro.apps.txn.client import (Transaction, TxnAborted, TxnClient,
+                                   TxnConfig, TxnResult)
+from repro.apps.txn.rpc_baseline import RpcTxnClient, RpcTxnServer
+from repro.apps.txn.store import (INITIAL_VERSION, LOCK_BIT, TxnStore,
+                                  is_locked, locked_word, owner_of,
+                                  version_of)
+
+__all__ = [
+    "INITIAL_VERSION",
+    "LOCK_BIT",
+    "RpcTxnClient",
+    "RpcTxnServer",
+    "Transaction",
+    "TxnAborted",
+    "TxnClient",
+    "TxnConfig",
+    "TxnResult",
+    "TxnStore",
+    "is_locked",
+    "locked_word",
+    "owner_of",
+    "version_of",
+]

@@ -1,0 +1,121 @@
+"""Two-sided (RPC) transaction baseline.
+
+The comparison point for the one-sided OCC path, in the
+:mod:`repro.apps.hashtable.rpc_baseline` shape: clients SEND a whole
+transaction (read keys + write items) to a back-end CPU thread, which
+executes it against local memory and replies.  The handler mutates the
+shared store atomically (no yield between touching keys), so server-side
+transactions serialize trivially and never abort — the cost is a
+back-end core per server thread and a full round trip per transaction,
+plus per-key service CPU charged after the atomic apply.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.apps.txn.store import INITIAL_VERSION
+from repro.core.rpc import RpcServer
+from repro.verbs import RdmaContext, Worker
+
+__all__ = ["RpcTxnClient", "RpcTxnServer"]
+
+#: Wire-size model: 8 B per read key, 8 B key + 48 B value per write,
+#: on top of a fixed header (matches the KV baseline's framing).
+_HEADER_BYTES = 64
+_READ_KEY_BYTES = 8
+_WRITE_ITEM_BYTES = 56
+_READ_REPLY_BYTES = 64
+
+
+class RpcTxnServer:
+    """Back-end: ``n_servers`` CPU threads over one versioned store."""
+
+    #: Service CPU per touched key (on top of the per-request
+    #: ``rpc_service_ns``): version check + copy, Herd-style.
+    PER_KEY_NS = 150.0
+
+    def __init__(self, ctx: RdmaContext, machine: int, n_servers: int = 1):
+        if n_servers < 1:
+            raise ValueError("need at least one server thread")
+        self.ctx = ctx
+        self.machine = machine
+        self._data: dict[int, tuple[int, bytes]] = {}
+        self.txns_served = 0
+        self.servers = [
+            RpcServer(ctx, machine, socket=i % ctx.params.sockets_per_machine,
+                      name=f"txnserver{i}.m{machine}")
+            for i in range(n_servers)
+        ]
+        self._by_name = {s.name: s for s in self.servers}
+        for server in self.servers:
+            server.start(self._make_handler(server))
+        self._rr = 0
+
+    def _make_handler(self, server: RpcServer):
+        def handler(body, request) -> Generator:
+            op, read_keys, write_items = body
+            if op != "txn":
+                raise ValueError(f"unknown txn op: {op!r}")
+            # Atomic apply: no yield between store touches, so requests
+            # serialize even across server threads sharing the store.
+            reads = {}
+            for key in read_keys:
+                version, value = self._data.get(key, (INITIAL_VERSION, b""))
+                reads[key] = (version, value)
+            for key, value in write_items:
+                version, _old = self._data.get(key, (INITIAL_VERSION, b""))
+                self._data[key] = (version + 1, value)
+            self.txns_served += 1
+            # Per-key service CPU, charged after the (instantaneous)
+            # apply so atomicity is preserved.
+            n_touched = len(read_keys) + len(write_items)
+            yield from server.worker.compute(self.PER_KEY_NS * n_touched)
+            return ("ok", reads)
+        return handler
+
+    def connect(self, client_machine: int, client_socket: int = 0
+                ) -> "RpcTxnClient":
+        """Round-robin clients over the server threads."""
+        server = self.servers[self._rr % len(self.servers)]
+        self._rr += 1
+        channel = server.connect(client_machine, client_socket,
+                                 client_port=client_socket,
+                                 server_port=server.socket)
+        return RpcTxnClient(self, channel, client_machine, client_socket)
+
+    def stop(self) -> None:
+        for server in self.servers:
+            server.stop()
+
+    def peek(self, key: int) -> tuple[int, bytes]:
+        """Direct store read — test helper."""
+        return self._data.get(key, (INITIAL_VERSION, b""))
+
+
+class RpcTxnClient:
+    """Front-end handle: one outstanding transaction at a time."""
+
+    def __init__(self, table: RpcTxnServer, channel, machine: int,
+                 socket: int):
+        self.table = table
+        self.channel = channel
+        self.worker = Worker(table.ctx, machine, socket,
+                             name=f"txnclient.m{machine}.s{socket}")
+        self.commits = 0
+
+    def txn(self, read_keys: list[int],
+            write_items: list[tuple[int, bytes]]) -> Generator:
+        """One multi-key transaction; returns {key: (version, value)}."""
+        request_bytes = (_HEADER_BYTES
+                         + _READ_KEY_BYTES * len(read_keys)
+                         + _WRITE_ITEM_BYTES * len(write_items))
+        reply_bytes = _HEADER_BYTES + _READ_REPLY_BYTES * len(read_keys)
+        status, reads = yield from self.channel.call(
+            self.worker,
+            ("txn", tuple(read_keys), tuple(write_items)),
+            request_bytes=request_bytes, reply_bytes=reply_bytes)
+        if status != "ok":  # pragma: no cover - protocol invariant
+            raise RuntimeError(f"unexpected txn reply: {status!r}")
+        self.commits += 1
+        return reads

@@ -1,0 +1,120 @@
+"""Memory-side state for the transactional dataplane.
+
+The store reuses the hashtable's 64-byte entry format and socket
+striping (:mod:`repro.apps.hashtable.layout`):
+
+    [ key: 8 B | version word: 8 B | value: 48 B ]
+
+The **version word** doubles as the per-key OCC lock (Storm-style: one
+8-byte word carries the lock bit, the owner id, and the version), so a
+single CAS both validates a writer's read and takes the commit lock:
+
+    bit 63        LOCK — set while a committer holds the key
+    bits 62..48   OWNER — committing client id (diagnoses flush ambiguity)
+    bits 47..0    VERSION — bumped by exactly 1 per committed write
+
+The word sits at entry offset +8 of a 64-byte-aligned entry, so it is
+8-byte aligned: CAS traffic serializes through the RNIC's atomic word
+lock, subsequent 8-byte unlock/publish WRITEs serialize through the same
+word lock, and the overlap checker's atomic-word exemption applies to
+them (see ``OverlapChecker`` in :mod:`repro.check.checkers`).
+
+Entries are initialized memory-side (the "loader"), exactly like the
+hashtable backend pre-faults its regions: version ``INITIAL_VERSION``,
+empty value.
+"""
+
+from __future__ import annotations
+
+from repro.apps.hashtable.layout import (ENTRY_BYTES, VERSION_OFF,
+                                         TableLayout, pack_entry,
+                                         unpack_entry)
+from repro.verbs import MemoryRegion, RdmaContext
+
+__all__ = ["INITIAL_VERSION", "LOCK_BIT", "TxnStore", "is_locked",
+           "locked_word", "owner_of", "version_of"]
+
+LOCK_BIT = 1 << 63
+_OWNER_SHIFT = 48
+_OWNER_BITS = 15
+_OWNER_MASK = ((1 << _OWNER_BITS) - 1) << _OWNER_SHIFT
+_VERSION_MASK = (1 << _OWNER_SHIFT) - 1
+
+#: First committed version is INITIAL_VERSION + 1; 0 never appears, so a
+#: zero word always means "outside the table" in diagnostics.
+INITIAL_VERSION = 1
+
+
+def locked_word(version: int, owner: int) -> int:
+    """The version word while ``owner`` holds the key's commit lock."""
+    if not 0 <= version <= _VERSION_MASK:
+        raise ValueError(f"version {version} out of range")
+    return LOCK_BIT | ((owner & ((1 << _OWNER_BITS) - 1)) << _OWNER_SHIFT) \
+        | version
+
+
+def is_locked(word: int) -> bool:
+    return bool(word & LOCK_BIT)
+
+
+def version_of(word: int) -> int:
+    return word & _VERSION_MASK
+
+
+def owner_of(word: int) -> int:
+    return (word & _OWNER_MASK) >> _OWNER_SHIFT
+
+
+class TxnStore:
+    """Passive remote store: striped entry regions + address arithmetic.
+
+    One MR per back-end socket (``key % sockets`` striping, like the
+    hashtable's cold table); the back-end CPU never touches an entry
+    after initialization — all traffic is one-sided.
+    """
+
+    def __init__(self, ctx: RdmaContext, machine: int, n_keys: int):
+        self.ctx = ctx
+        self.machine = machine
+        self.layout = TableLayout(n_keys, hot_keys=0,
+                                  sockets=ctx.params.sockets_per_machine)
+        self.mrs: list[MemoryRegion] = [
+            ctx.register(machine, self.layout.cold_region_bytes(s), socket=s)
+            for s in range(self.layout.sockets)
+        ]
+        for key in range(n_keys):
+            mr, off = self.entry_location(key)
+            mr.write(off, pack_entry(key, INITIAL_VERSION, b""))
+        check = ctx.sim.check
+        if check is not None:
+            check.on_txn_store(self)
+
+    @property
+    def n_keys(self) -> int:
+        return self.layout.n_keys
+
+    # ------------------------------------------------------------ addressing
+    def socket_of(self, key: int) -> int:
+        return self.layout.cold_socket(key)
+
+    def entry_location(self, key: int) -> tuple[MemoryRegion, int]:
+        """(mr, offset) of the key's full 64-byte entry."""
+        s = self.layout.cold_socket(key)
+        return self.mrs[s], self.layout.cold_offset(key)
+
+    def version_location(self, key: int) -> tuple[MemoryRegion, int]:
+        """(mr, offset) of the key's 8-byte version/lock word."""
+        mr, off = self.entry_location(key)
+        return mr, off + VERSION_OFF
+
+    # ------------------------------------------------------------- test aids
+    def peek_word(self, key: int) -> int:
+        """Direct (non-verbs) read of the version word."""
+        mr, off = self.version_location(key)
+        return mr.read_u64(off)
+
+    def peek(self, key: int) -> tuple[int, bytes]:
+        """Direct read of (version-word, value) — test helper."""
+        mr, off = self.entry_location(key)
+        _key, word, value = unpack_entry(mr.read(off, ENTRY_BYTES))
+        return word, value

@@ -41,6 +41,7 @@ TARGETS = {
     "ext5": "repro.bench.ext5_replication",
     "ext6_multitenant": "repro.bench.ext6_multitenant",
     "ext7_fault_recovery": "repro.bench.ext7_fault_recovery",
+    "ext8_txn": "repro.bench.ext8_txn",
     "breakdown": "repro.bench.breakdown",
     "scorecard": "repro.bench.scorecard",
 }

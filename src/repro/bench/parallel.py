@@ -102,11 +102,23 @@ class CampaignResult:
     n_cached: int
     wall_s: float = 0.0
     notes: list[str] = field(default_factory=list)
+    #: Point-cache accounting for this campaign (zero when cache is off).
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_bytes_read: int = 0
+    cache_bytes_written: int = 0
 
     @property
     def stats_line(self) -> str:
         return (f"{self.n_points} points: {self.n_computed} computed, "
                 f"{self.n_cached} cached")
+
+    @property
+    def cache_stats_line(self) -> str:
+        return (f"cache: {self.cache_hits} hits, {self.cache_misses} misses, "
+                f"{self.cache_bytes_read:,} B read, "
+                f"{self.cache_bytes_written:,} B written "
+                f"({self.n_computed} points recomputed)")
 
 
 # ------------------------------------------------------------------ keys
@@ -176,6 +188,8 @@ class PointCache:
         self.root = root
         self.hits = 0
         self.misses = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
 
     def _path(self, key: str) -> str:
         return os.path.join(self.root, key[:2], key + ".json")
@@ -184,11 +198,13 @@ class PointCache:
         """(hit, value); corrupted entries are misses, never errors."""
         try:
             with open(self._path(key)) as fh:
-                data = json.load(fh)
+                blob = fh.read()
+            data = json.loads(blob)
             if not isinstance(data, dict) or data.get("key") != key \
                     or "value" not in data:
                 raise ValueError("foreign or truncated cache entry")
             self.hits += 1
+            self.bytes_read += len(blob)
             return True, data["value"]
         except (OSError, ValueError):
             self.misses += 1
@@ -198,8 +214,10 @@ class PointCache:
         path = self._path(key)
         os.makedirs(os.path.dirname(path), exist_ok=True)
         tmp = path + f".tmp.{os.getpid()}"
+        blob = json.dumps({"key": key, "meta": meta or {}, "value": value})
         with open(tmp, "w") as fh:
-            json.dump({"key": key, "meta": meta or {}, "value": value}, fh)
+            fh.write(blob)
+        self.bytes_written += len(blob)
         os.replace(tmp, path)
 
 
@@ -312,10 +330,16 @@ def run_campaign(target: str, quick: bool = True, jobs: int = 1,
     figures = module.assemble(values, quick)
     if isinstance(figures, FigureResult):
         figures = [figures]
-    return CampaignResult(target=target, figures=list(figures),
-                          n_points=len(points), n_computed=n_computed,
-                          n_cached=n_cached,
-                          wall_s=time.perf_counter() - t0)
+    result = CampaignResult(target=target, figures=list(figures),
+                            n_points=len(points), n_computed=n_computed,
+                            n_cached=n_cached,
+                            wall_s=time.perf_counter() - t0)
+    if cache is not None:
+        result.cache_hits = cache.hits
+        result.cache_misses = cache.misses
+        result.cache_bytes_read = cache.bytes_read
+        result.cache_bytes_written = cache.bytes_written
+    return result
 
 
 # ---------------------------------------------------------------- digest
@@ -342,6 +366,11 @@ def main(argv: Optional[list[str]] = None) -> int:
     parser.add_argument("--jobs", type=int, default=2)
     parser.add_argument("--full", action="store_true")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                        help="point-cache root for --cache-stats runs")
+    parser.add_argument("--cache-stats", action="store_true",
+                        help="additionally run the campaign through the "
+                             "point cache and report hits/misses/bytes")
     args = parser.parse_args(argv)
     quick = not args.full
     serial = run_campaign(args.target, quick=quick, jobs=1, cache_dir=None,
@@ -358,6 +387,14 @@ def main(argv: Optional[list[str]] = None) -> int:
               "from the serial run")
         return 1
     print("merge determinism ok: tables bit-identical")
+    if args.cache_stats:
+        cached = run_campaign(args.target, quick=quick, jobs=args.jobs,
+                              cache_dir=args.cache_dir, seed=args.seed)
+        if figures_digest(cached.figures) != d_serial:
+            print("CACHE FAILURE: cached campaign tables differ from the "
+                  "serial run")
+            return 1
+        print(f"{args.target}: {cached.cache_stats_line}")
     return 0
 
 

@@ -112,11 +112,12 @@ SCENARIOS: dict[str, Callable[[], dict]] = {
     "fig5": _figure("repro.bench.fig05_threads"),
     "ext6": _figure("repro.bench.ext6_multitenant"),
     "ext7": _figure("repro.bench.ext7_fault_recovery"),
+    "ext8": _figure("repro.bench.ext8_txn"),
     "sweep_parallel": _sweep_parallel,
 }
 
 #: The smoke-friendly subset (`make perf-quick`).
-QUICK_SCENARIOS = ("engine_dispatch", "fig5")
+QUICK_SCENARIOS = ("engine_dispatch", "fig5", "ext8")
 
 
 def _digest(outcome: dict) -> str:
@@ -213,6 +214,29 @@ def _print_table(data: dict, baseline: Optional[dict] = None) -> None:
               f"{row['events_per_sec']:>12,} {rel:>8}")
 
 
+def _print_tracked(data: dict, baseline: Optional[dict] = None) -> None:
+    """Tracked (non-gating) metrics: wall-clock-derived numbers like the
+    parallel-sweep speedup, excluded from digests and the gate but worth
+    keeping visible.  Falls back to the committed baseline for scenarios
+    the current (e.g. --quick) run skipped."""
+    cur = data["scenarios"]
+    base = baseline["scenarios"] if baseline else {}
+    lines = []
+    for name in dict.fromkeys(list(cur) + list(base)):
+        row, src = None, ""
+        if "metrics" in cur.get(name, {}):
+            row = cur[name]["metrics"]
+        elif "metrics" in base.get(name, {}):
+            row, src = base[name]["metrics"], " [baseline]"
+        if row:
+            body = " ".join(f"{k}={v}" for k, v in row.items())
+            lines.append(f"  {name}: {body}{src}")
+    if lines:
+        print("tracked metrics (informational, not gated):")
+        for line in lines:
+            print(line)
+
+
 def main(argv: Optional[list[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.bench.perf",
@@ -239,6 +263,7 @@ def main(argv: Optional[list[str]] = None) -> int:
             json.dump(data, fh, indent=1)
             fh.write("\n")
         _print_table(data)
+        _print_tracked(data)
         print(f"baseline written to {args.baseline}")
         return 0
 
@@ -246,6 +271,7 @@ def main(argv: Optional[list[str]] = None) -> int:
     data = run_scenarios(names)
     if args.cmd == "run":
         _print_table(data)
+        _print_tracked(data)
         return 0
 
     try:
@@ -256,6 +282,7 @@ def main(argv: Optional[list[str]] = None) -> int:
               "to create one")
         return 1
     _print_table(data, baseline)
+    _print_tracked(data, baseline)
     failures = check(baseline, data, args.tolerance)
     if failures:
         print(f"\nPERF GATE FAILED ({len(failures)}):")

@@ -335,7 +335,8 @@ class TenancyChecker:
 
     name = "tenancy"
 
-    _SLO_FIELDS = ("ops", "bytes", "errored", "rejected", "retries")
+    _SLO_FIELDS = ("ops", "bytes", "errored", "rejected", "retries",
+                   "txn_commits", "txn_aborts")
 
     def __init__(self, san):
         self.san = san
@@ -350,7 +351,8 @@ class TenancyChecker:
                 f"token bucket went negative: {bucket.tokens:.6f}")
 
     def on_slo_record(self, tenant: str, slo) -> None:
-        snap = tuple(getattr(slo, f) for f in self._SLO_FIELDS)
+        # Default 0: SLO-shaped test doubles may omit the txn counters.
+        snap = tuple(getattr(slo, f, 0) for f in self._SLO_FIELDS)
         prev = self._slo_snap.get(tenant)
         if prev is not None:
             for field, new, old in zip(self._SLO_FIELDS, snap, prev):

@@ -26,7 +26,7 @@ from bisect import bisect_left, insort
 
 from repro.verbs.types import Opcode
 
-__all__ = ["LockOracle", "SequencerOracle"]
+__all__ = ["LockOracle", "SequencerOracle", "TxnOracle"]
 
 
 class _LockState:
@@ -258,3 +258,212 @@ class SequencerOracle:
                     self.name, f"seq{key}", "finalize",
                     f"sequence space not dense: values {gaps} were "
                     "reserved at the counter but never handed out")
+
+
+class TxnOracle:
+    """Serializability witness for the one-sided OCC transactions.
+
+    The :class:`~repro.apps.txn.TxnClient` commit hook fires at the
+    protocol's serialization point (all write locks held, all reads
+    validated, before write-back posts), reporting the transaction's read
+    set ``{key: version}`` and write set ``{key: (old, new)}``.  Because
+    writers to one key hold its lock from the CAS until the publish
+    write, write commits to a key arrive in lock order — so the per-key
+    **version chain** check is exact: every commit must extend the chain
+    by exactly one version, and a stale ``old`` is a lost update (a
+    commit whose validating CAS was skipped or ignored).
+
+    Read consistency cannot be judged against "the current version at
+    hook time" (a reader may legitimately serialize before a writer
+    whose hook fired earlier), so reads are checked at finalize by
+    building the **serialization graph** from version observations —
+    write-read edges (installer -> reader), write-write edges (chain
+    order), and read-write anti-dependency edges (reader -> installer of
+    the next version) — and requiring it to be acyclic.  A commit that
+    skips read validation shows up as a cycle (e.g. write skew: two
+    transactions that each read what the other wrote).
+
+    Registered stores additionally get a finalize sweep: no version word
+    may be left LOCKed after drain, and each key's published version
+    must match the witnessed chain head.
+    """
+
+    name = "txn"
+
+    def __init__(self, san):
+        self.san = san
+        self._stores: list = []
+        self._state: dict = {}       # txn_id -> open/committed/aborted
+        self._commits: list = []     # (txn_id, reads, writes), commit order
+        self._chain: dict = {}       # key -> last committed version
+        self._order: dict = {}       # key -> [(version, txn_id)] chain order
+        self._installed: dict = {}   # key -> {version: txn_id}
+        self._known_keys: set = set()
+        self._initial: dict = {}     # key -> initial version (from stores)
+
+    # ------------------------------------------------------------- plumbing
+    @staticmethod
+    def _is_locked(word: int) -> bool:
+        return bool(word & (1 << 63))
+
+    def _where(self, txn_id: str) -> str:
+        return f"txn[{txn_id}]"
+
+    # ------------------------------------------------------------ txn hooks
+    def on_store(self, store) -> None:
+        self._stores.append(store)
+        from repro.apps.txn.store import INITIAL_VERSION
+        for key in range(store.n_keys):
+            self._known_keys.add(key)
+            self._initial[key] = INITIAL_VERSION
+
+    def on_begin(self, client, txn_id: str) -> None:
+        if txn_id in self._state:
+            self.san.record(
+                self.name, self._where(txn_id), "begin",
+                f"duplicate begin (txn is {self._state[txn_id]})")
+        self._state[txn_id] = "open"
+
+    def on_read(self, client, txn_id: str, key: int, version: int) -> None:
+        if self._state.get(txn_id) != "open":
+            self.san.record(
+                self.name, self._where(txn_id), "read",
+                f"read of key {key} on a "
+                f"{self._state.get(txn_id, 'never-begun')} transaction")
+        if self._is_locked(version):
+            self.san.record(
+                self.name, self._where(txn_id), "read",
+                f"torn versioned read: key {key} surfaced a LOCKed word "
+                f"{version:#x} as its version")
+
+    def on_validate(self, client, txn_id: str, key: int, word: int,
+                    ok: bool) -> None:
+        if self._state.get(txn_id) != "open":
+            self.san.record(
+                self.name, self._where(txn_id), "validate",
+                f"validation of key {key} on a "
+                f"{self._state.get(txn_id, 'never-begun')} transaction")
+
+    def on_commit(self, client, txn_id: str, reads: dict,
+                  writes: dict) -> None:
+        state = self._state.get(txn_id)
+        if state != "open":
+            self.san.record(
+                self.name, self._where(txn_id), "commit",
+                f"commit of a {state or 'never-begun'} transaction")
+        self._state[txn_id] = "committed"
+        for key, (v_old, v_new) in writes.items():
+            cur = self._chain.get(key)
+            if cur is None:
+                cur = self._initial.get(key, v_old)
+            if v_old != cur:
+                self.san.record(
+                    self.name, self._where(txn_id), "commit",
+                    f"lost update on key {key}: committed against version "
+                    f"{v_old} but the chain head is {cur} — a conflicting "
+                    "commit was not observed (validation skipped?)")
+            if v_new != v_old + 1:
+                self.san.record(
+                    self.name, self._where(txn_id), "commit",
+                    f"key {key} version stepped {v_old} -> {v_new} "
+                    "(must advance by exactly 1)")
+            self._chain[key] = v_new
+            self._order.setdefault(key, []).append((v_new, txn_id))
+            self._installed.setdefault(key, {})[v_new] = txn_id
+        self._commits.append((txn_id, dict(reads), dict(writes)))
+
+    def on_abort(self, client, txn_id: str, reason: str) -> None:
+        state = self._state.get(txn_id)
+        if state == "committed":
+            self.san.record(
+                self.name, self._where(txn_id), "abort",
+                f"abort ({reason}) of an already-committed transaction")
+        elif state is None:
+            self.san.record(
+                self.name, self._where(txn_id), "abort",
+                f"abort ({reason}) of a never-begun transaction")
+        self._state[txn_id] = "aborted"
+
+    # ---------------------------------------------------------------- graph
+    def _edges(self) -> dict:
+        edges: dict = {}
+
+        def add(a: str, b: str) -> None:
+            if a != b:
+                edges.setdefault(a, []).append(b)
+
+        for key, chain in self._order.items():
+            for (_va, ta), (_vb, tb) in zip(chain, chain[1:]):
+                add(ta, tb)                       # ww: chain order
+        for txn_id, reads, writes in self._commits:
+            for key, v in reads.items():
+                installer = self._installed.get(key, {}).get(v)
+                if installer is None and key in self._known_keys \
+                        and v != self._initial.get(key):
+                    self.san.record(
+                        self.name, self._where(txn_id), "finalize",
+                        f"read of key {key} observed version {v}, which no "
+                        "committed transaction installed")
+                if installer is not None:
+                    add(installer, txn_id)        # wr: installer -> reader
+                for vn, tn in self._order.get(key, ()):
+                    if vn > v:
+                        add(txn_id, tn)           # rw: reader -> overwriter
+                        break
+        # Dedup while preserving first-seen order (determinism).
+        return {a: list(dict.fromkeys(bs)) for a, bs in edges.items()}
+
+    def _find_cycle(self, edges: dict):
+        """First cycle in the serialization graph, as a txn-id path."""
+        WHITE, GREY, BLACK = 0, 1, 2
+        color = {}
+        for root in edges:
+            if color.get(root, WHITE) != WHITE:
+                continue
+            stack = [(root, iter(edges.get(root, ())))]
+            color[root] = GREY
+            path = [root]
+            while stack:
+                node, it = stack[-1]
+                advanced = False
+                for nxt in it:
+                    c = color.get(nxt, WHITE)
+                    if c == GREY:
+                        return path[path.index(nxt):] + [nxt]
+                    if c == WHITE:
+                        color[nxt] = GREY
+                        path.append(nxt)
+                        stack.append((nxt, iter(edges.get(nxt, ()))))
+                        advanced = True
+                        break
+                if not advanced:
+                    color[node] = BLACK
+                    path.pop()
+                    stack.pop()
+        return None
+
+    # -------------------------------------------------------------- final
+    def finalize(self) -> None:
+        cycle = self._find_cycle(self._edges())
+        if cycle is not None:
+            self.san.record(
+                self.name, "txn-graph", "finalize",
+                "serialization graph has a cycle — the committed "
+                "transactions admit no serial order: "
+                + " -> ".join(cycle))
+        for store in self._stores:
+            for key in range(store.n_keys):
+                word = store.peek_word(key)
+                if self._is_locked(word):
+                    self.san.record(
+                        self.name, f"key[{key}]", "finalize",
+                        f"version word left LOCKed after drain ({word:#x}) "
+                        "— an abort or commit never released its lock")
+                    continue
+                expect = self._chain.get(key)
+                if expect is not None and word != expect:
+                    self.san.record(
+                        self.name, f"key[{key}]", "finalize",
+                        f"published version {word} does not match the "
+                        f"witnessed chain head {expect} — a committed "
+                        "write was never published")

@@ -15,6 +15,11 @@ register claims), run to completion, drained, and finalized:
 * ``chaos`` — ext7-style fault injection: remote spinlock and remote
   sequencer clients hammered by seeded i.i.d. loss windows and a
   blackhole, exercising QP error/flush/reconnect under every checker.
+* ``txn`` — the one-sided OCC dataplane at high contention (Zipf
+  theta=0.99) under seeded loss windows with a small retry budget: the
+  serializability oracle judges every commit while transport recovery
+  replays interrupted lock CASes.  Strict overlap stays off — commit
+  write-back intentionally overwrites the previous version's value.
 
 Exit status 0 iff every scenario reports zero violations (the CI
 contract: ``make check``).
@@ -172,12 +177,78 @@ def _scenario_chaos() -> Sanitizer:
     return san
 
 
+def _scenario_txn() -> Sanitizer:
+    """Contended OCC transactions + loss chaos under the txn oracle."""
+    from repro.apps.txn import TxnClient, TxnConfig, TxnStore
+    from repro.hw import FaultInjector, HardwareParams
+    from repro.sim import make_rng, spawn_rngs
+    from repro.workloads.zipf import ZipfGenerator
+
+    n_clients = 3
+    # Small retry budget: loss windows exhaust retries and force the
+    # clients through QP error -> flush -> reconnect mid-transaction.
+    sim, cluster, ctx = build(machines=n_clients + 1,
+                              params=HardwareParams(retry_cnt=2))
+    san = Sanitizer(sim)          # write-back is last-writer-wins per
+    store = TxnStore(ctx, machine=0, n_keys=64)   # version: strict off
+    injector = FaultInjector(sim, rng=make_rng(1234))
+    rngs = spawn_rngs(4321, n_clients)
+    clients = [
+        TxnClient(ctx, store, machine=1 + i, client_id=i,
+                  config=TxnConfig(max_attempts=64), rng=rngs[i],
+                  name=f"check.txn{i}")
+        for i in range(n_clients)
+    ]
+
+    def drive(c, rng):
+        zipf = ZipfGenerator(store.n_keys, 0.99, rng)
+        for t in range(24):
+            keys: set = set()
+            while len(keys) < 4:
+                keys.add(zipf.one())
+            ordered = sorted(keys)
+
+            def body(txn):
+                for k in ordered:
+                    yield from c.read(txn, k)
+                for k in ordered[:2]:
+                    c.write(txn, k, f"{c.name}.t{t}".encode())
+
+            yield from c.execute(body)
+
+    # Staggered loss windows on every client port (the chaos idiom).
+    for i in range(n_clients):
+        port = cluster[i + 1].port(0)
+        for k in range(3):
+            at = 30_000.0 + 170_000.0 * i + 500_000.0 * k
+            sim.timeout(at).add_callback(
+                lambda _e, p=port: injector.drop_port(
+                    p, prob=0.9, duration_ns=120_000.0))
+
+    procs = [sim.process(drive(c, rng), name=f"check.txn{c.client_id}")
+             for c, rng in zip(clients, rngs)]
+    for p in procs:
+        sim.run(until=p)
+    sim.run()
+
+    if not any(c.transport_errors for c in clients):
+        raise AssertionError("txn chaos scenario injected no transport "
+                             "errors; the fault schedule has gone stale")
+    if not any(c.aborts for c in clients):
+        raise AssertionError("txn scenario saw no conflict aborts; raise "
+                             "the contention")
+    if not all(c.commits for c in clients):
+        raise AssertionError("a txn client never committed")
+    return san
+
+
 SCENARIOS = {
     "hashtable": _scenario_hashtable,
     "shuffle": _scenario_shuffle,
     "join": _scenario_join,
     "dlog": _scenario_dlog,
     "chaos": _scenario_chaos,
+    "txn": _scenario_txn,
 }
 
 

@@ -32,14 +32,14 @@ from repro.check.checkers import (
     QpStateChecker,
     TenancyChecker,
 )
-from repro.check.oracles import LockOracle, SequencerOracle
+from repro.check.oracles import LockOracle, SequencerOracle, TxnOracle
 from repro.check.report import CheckReport, Violation
 
 __all__ = ["CHECKER_NAMES", "Sanitizer"]
 
 #: Every pluggable checker, in report order.
 CHECKER_NAMES = ("conservation", "qp_state", "overlap", "locks",
-                 "sequencer", "consolidation", "tenancy")
+                 "sequencer", "consolidation", "tenancy", "txn")
 
 
 class Sanitizer:
@@ -83,6 +83,7 @@ class Sanitizer:
         self.consolidation = (ConsolidationChecker(self)
                               if "consolidation" in names else None)
         self.tenancy = TenancyChecker(self) if "tenancy" in names else None
+        self.txn = TxnOracle(self) if "txn" in names else None
         self.sweep_every = sweep_every
         self._tick = 0
         self.events_seen = 0
@@ -112,7 +113,7 @@ class Sanitizer:
         """
         if not self.report.finalized:
             for checker in (self.conservation, self.locks, self.sequencer,
-                            self.consolidation):
+                            self.consolidation, self.txn):
                 if checker is not None:
                     checker.finalize()
             self.report.finalized = True
@@ -192,6 +193,34 @@ class Sanitizer:
     def on_consolidator_flush(self, cons) -> None:
         if self.consolidation is not None:
             self.consolidation.on_flush(cons)
+
+    # -- txn hooks ---------------------------------------------------------------
+    def on_txn_store(self, store) -> None:
+        if self.txn is not None:
+            self.txn.on_store(store)
+
+    def on_txn_begin(self, client, txn_id: str) -> None:
+        if self.txn is not None:
+            self.txn.on_begin(client, txn_id)
+
+    def on_txn_read(self, client, txn_id: str, key: int,
+                    version: int) -> None:
+        if self.txn is not None:
+            self.txn.on_read(client, txn_id, key, version)
+
+    def on_txn_validate(self, client, txn_id: str, key: int, word: int,
+                        ok: bool) -> None:
+        if self.txn is not None:
+            self.txn.on_validate(client, txn_id, key, word, ok)
+
+    def on_txn_commit(self, client, txn_id: str, reads: dict,
+                      writes: dict) -> None:
+        if self.txn is not None:
+            self.txn.on_commit(client, txn_id, reads, writes)
+
+    def on_txn_abort(self, client, txn_id: str, reason: str) -> None:
+        if self.txn is not None:
+            self.txn.on_abort(client, txn_id, reason)
 
     # -- tenancy hooks -----------------------------------------------------------
     def on_bucket_consume(self, tenant: str, bucket) -> None:

@@ -21,7 +21,8 @@ class TenantSLO:
     """Mutable per-tenant accumulator."""
 
     __slots__ = ("ops", "bytes", "latencies", "rejects", "by_opcode",
-                 "first_ns", "last_ns", "retries", "errors")
+                 "first_ns", "last_ns", "retries", "errors",
+                 "txn_commits", "txn_aborts", "commit_latencies")
 
     def __init__(self):
         self.ops = 0
@@ -31,6 +32,12 @@ class TenantSLO:
         self.by_opcode: Counter = Counter()
         self.first_ns = 0.0
         self.last_ns = 0.0
+        #: Transactional dataplane SLO: committed transactions, aborted
+        #: attempts (each failed optimistic attempt counts — that is the
+        #: work the tenant paid for), and per-commit end-to-end latency.
+        self.txn_commits = 0
+        self.txn_aborts = 0
+        self.commit_latencies: list[float] = []
         #: Transport retransmissions absorbed by this tenant's ops (ops
         #: that recovered still count as successes — this is the hidden
         #: cost of a lossy path).
@@ -64,8 +71,19 @@ class TenantSLO:
         span = self.last_ns - self.first_ns
         return self.bytes / span if span > 0 else 0.0
 
+    @property
+    def txn_abort_rate(self) -> float:
+        """Aborted attempts over all attempts (commit = 1 attempt won)."""
+        total = self.txn_commits + self.txn_aborts
+        return self.txn_aborts / total if total else 0.0
+
     def latency_percentiles(self) -> dict[str, float]:
         xs = sorted(self.latencies)
+        p50, p99, p999 = percentiles(xs, [50, 99, 99.9])
+        return {"p50": p50, "p99": p99, "p999": p999}
+
+    def commit_latency_percentiles(self) -> dict[str, float]:
+        xs = sorted(self.commit_latencies)
         p50, p99, p999 = percentiles(xs, [50, 99, 99.9])
         return {"p50": p50, "p99": p99, "p999": p999}
 
@@ -109,6 +127,25 @@ class SLOMetrics:
         if check is not None:
             check.on_slo_record(tenant, slo)
 
+    def record_txn(self, tenant: str, committed: bool,
+                   latency_ns: float = 0.0) -> None:
+        """Fold one transaction attempt into the tenant's ledger.
+
+        A commit records its end-to-end latency (all attempts included,
+        like ``record_op`` the number is tenant-visible); every failed
+        optimistic attempt is one abort — the abort *rate* is therefore
+        attempts-weighted, matching what the dataplane actually retried.
+        """
+        slo = self.tenants[tenant]
+        if committed:
+            slo.txn_commits += 1
+            slo.commit_latencies.append(latency_ns)
+        else:
+            slo.txn_aborts += 1
+        check = self.sim.check
+        if check is not None:
+            check.on_slo_record(tenant, slo)
+
     def record_reject(self, tenant: str, reason: str) -> None:
         slo = self.tenants[tenant]
         slo.rejects[reason] += 1
@@ -136,6 +173,11 @@ class SLOMetrics:
                 "errored": slo.errored,
                 "error_rate": slo.error_rate,
                 "errors_by_status": dict(slo.errors),
+                "txn_commits": slo.txn_commits,
+                "txn_aborts": slo.txn_aborts,
+                "txn_abort_rate": slo.txn_abort_rate,
+                "commit_p99_us":
+                    slo.commit_latency_percentiles()["p99"] / 1000.0,
             }
         return out
 

@@ -206,3 +206,30 @@ def test_cli_flags_roundtrip(capsys, tmp_path):
     assert "2 computed, 0 cached" in out
     assert main(["table2", "--seed", "5", "--cache", str(tmp_path)]) == 0
     assert "0 computed, 2 cached" in capsys.readouterr().out
+
+
+def test_cache_stats_cli_warm_rerun_recomputes_nothing(capsys, tmp_path):
+    """--cache-stats: cold run reports misses/writes; a warm rerun must
+    report every point as a hit and 0 recomputed."""
+    argv = ["table2", "--jobs", "1", "--cache-stats",
+            "--cache-dir", str(tmp_path)]
+    assert parallel.main(argv) == 0
+    out = capsys.readouterr().out
+    assert "cache: 0 hits, 2 misses" in out
+    assert "(2 points recomputed)" in out
+    assert parallel.main(argv) == 0
+    out = capsys.readouterr().out
+    assert "cache: 2 hits, 0 misses" in out
+    assert "0 B written" in out
+    assert "(0 points recomputed)" in out
+
+
+def test_point_cache_byte_counters(tmp_path):
+    cache = PointCache(str(tmp_path))
+    hit, _ = cache.get("ab" * 32)
+    assert not hit and cache.bytes_read == 0
+    cache.put("ab" * 32, {"v": 1.5})
+    assert cache.bytes_written > 0
+    hit, value = cache.get("ab" * 32)
+    assert hit and value == {"v": 1.5}
+    assert cache.bytes_read == cache.bytes_written

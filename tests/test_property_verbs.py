@@ -146,3 +146,121 @@ def test_faa_accumulates_any_addend_sequence(addends):
         assert old == running % 2**64
         running += a
     assert rmr.read_u64(0) == running % 2**64
+
+
+# ----------------------------------------------------- atomic word edges
+@given(st.integers(min_value=2, max_value=6), st.integers(min_value=0,
+                                                          max_value=2**31))
+@_few
+def test_concurrent_cas_has_exactly_one_winner(n_clients, seed):
+    """N clients CAS the same zeroed 8-byte word concurrently: the
+    responder serializes through the per-word atomic lock, so exactly one
+    compare matches and the word ends holding the winner's swap."""
+    from repro.check import Sanitizer
+
+    sim, cluster, ctx = build(machines=2)
+    san = Sanitizer(sim, strict_overlap=True)
+    rmr = ctx.register(1, 4096)
+    outcomes = []
+
+    def client(i):
+        w = Worker(ctx, 0, name=f"cas{i}")
+        qp = ctx.create_qp(0, 1)
+        comp = yield from w.cas(qp, rmr, 0, compare=0, swap=i + 1)
+        outcomes.append((i, comp.value))
+
+    procs = [sim.process(client(i)) for i in range(n_clients)]
+    sim.run()
+    assert len(outcomes) == n_clients
+    winners = [i for i, old in outcomes if old == 0]
+    assert len(winners) == 1
+    assert rmr.read_u64(0) == winners[0] + 1
+    # Every loser observed the winner's installed value, not garbage.
+    for i, old in outcomes:
+        if i != winners[0]:
+            assert old == winners[0] + 1
+    assert san.finalize().ok
+
+
+@given(st.integers(min_value=1, max_value=2**63 - 1),
+       st.integers(min_value=1, max_value=2**63 - 1))
+@_few
+def test_cas_compare_mismatch_returns_observed_word(initial, compare):
+    """A failed CAS is a read: it returns the actual word and leaves
+    memory untouched."""
+    from hypothesis import assume
+
+    assume(initial != compare)
+    sim, cluster, ctx = build(machines=2)
+    rmr = ctx.register(1, 4096)
+    rmr.write_u64(0, initial)
+    w = Worker(ctx, 0)
+    qp = ctx.create_qp(0, 1)
+    got = []
+
+    def client():
+        comp = yield from w.cas(qp, rmr, 0, compare=compare, swap=0xDEAD)
+        got.append(comp.value)
+
+    sim.run(until=sim.process(client()))
+    assert got == [initial]
+    assert rmr.read_u64(0) == initial
+
+
+@st.composite
+def atomic_programs(draw):
+    """2-3 clients, each a short mixed CAS/FAA program on one word."""
+    n_clients = draw(st.integers(min_value=2, max_value=3))
+    programs = []
+    for _ in range(n_clients):
+        n_ops = draw(st.integers(min_value=1, max_value=5))
+        ops = []
+        for _ in range(n_ops):
+            if draw(st.booleans()):
+                ops.append(("faa", draw(st.integers(min_value=-100,
+                                                    max_value=100))))
+            else:
+                ops.append(("cas",
+                            draw(st.integers(min_value=0, max_value=4)),
+                            draw(st.integers(min_value=0, max_value=4))))
+        programs.append(ops)
+    return programs
+
+
+@given(atomic_programs())
+@_few
+def test_faa_cas_interleaving_is_linearizable(programs):
+    """Any interleaving of FAA/CAS on one word admits a linearization:
+    replaying completions in timestamp order reproduces every returned
+    old value and the final word — under all checkers."""
+    from repro.check import Sanitizer
+
+    sim, cluster, ctx = build(machines=2)
+    san = Sanitizer(sim, strict_overlap=True)
+    rmr = ctx.register(1, 4096)
+    log = []
+
+    def client(i, ops):
+        w = Worker(ctx, 0, name=f"mix{i}")
+        qp = ctx.create_qp(0, 1)
+        for op in ops:
+            if op[0] == "faa":
+                comp = yield from w.faa(qp, rmr, 0, add=op[1])
+            else:
+                comp = yield from w.cas(qp, rmr, 0, compare=op[1],
+                                        swap=op[2])
+            log.append((comp.timestamp_ns, op, comp.value))
+
+    for i, ops in enumerate(programs):
+        sim.process(client(i, ops))
+    sim.run()
+    assert len(log) == sum(len(p) for p in programs)
+    word = 0
+    for _ts, op, old in sorted(log, key=lambda e: e[0]):
+        assert old == word
+        if op[0] == "faa":
+            word = (word + op[1]) % 2**64
+        elif word == op[1]:
+            word = op[2]
+    assert rmr.read_u64(0) == word
+    assert san.finalize().ok
