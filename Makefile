@@ -21,8 +21,9 @@ lint:
 		     $(PY) -m compileall -q src tests benchmarks examples; }
 
 # Fast end-to-end sanity: build the model, run the quickstart example,
-# gate the simulator fast path (engine microbench + fig5 + ext8 txn)
-# against the committed perf baseline, and run the invariant-check suite.
+# gate the simulator fast path (engine microbench + fig5 + ext8 txn +
+# ext9 fabric incast) against the committed perf baseline, and run the
+# invariant-check suite.
 smoke: perf-quick check
 	PYTHONPATH=src $(PY) examples/quickstart.py
 
@@ -40,12 +41,14 @@ check:
 perf:
 	PYTHONPATH=src $(PY) -m repro.bench.perf check
 
-# --quick gates the starred scenarios; the second line additionally
-# proves the parallel campaign runner merges deterministically (serial
-# vs --jobs 2 figure digests must match; exits non-zero otherwise).
+# --quick gates the starred scenarios; the following lines additionally
+# prove the parallel campaign runner merges deterministically (serial
+# vs --jobs N figure digests must match; exits non-zero otherwise) —
+# fig5 for the paper path, ext9 for the multi-switch fabric path.
 perf-quick:
 	PYTHONPATH=src $(PY) -m repro.bench.perf check --quick
 	PYTHONPATH=src $(PY) -m repro.bench.parallel fig5 --jobs 2
+	PYTHONPATH=src $(PY) -m repro.bench.parallel ext9_fabric_scale --jobs 4
 
 # Refresh the committed baseline (new machine, or a deliberate model
 # change that moved schedules).

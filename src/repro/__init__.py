@@ -34,9 +34,15 @@ __all__ = ["build", "Cluster", "HardwareParams", "RdmaContext", "Simulator",
 
 
 def build(machines: int | None = None,
-          params: HardwareParams | None = None
+          params: HardwareParams | None = None,
+          topology="single",
           ) -> tuple[Simulator, Cluster, RdmaContext]:
-    """Construct a fresh (simulator, cluster, RDMA context) triple."""
+    """Construct a fresh (simulator, cluster, RDMA context) triple.
+
+    ``topology`` selects the fabric (``"single"`` | ``"leaf-spine"`` |
+    ``"clos"`` or a :class:`repro.hw.fabric.Fabric` instance); the
+    default is the paper's single switch.
+    """
     sim = Simulator()
-    cluster = Cluster(sim, params, machines=machines)
+    cluster = Cluster(sim, params, machines=machines, topology=topology)
     return sim, cluster, RdmaContext(cluster)

@@ -42,6 +42,7 @@ TARGETS = {
     "ext6_multitenant": "repro.bench.ext6_multitenant",
     "ext7_fault_recovery": "repro.bench.ext7_fault_recovery",
     "ext8_txn": "repro.bench.ext8_txn",
+    "ext9_fabric_scale": "repro.bench.ext9_fabric_scale",
     "breakdown": "repro.bench.breakdown",
     "scorecard": "repro.bench.scorecard",
 }

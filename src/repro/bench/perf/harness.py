@@ -113,11 +113,12 @@ SCENARIOS: dict[str, Callable[[], dict]] = {
     "ext6": _figure("repro.bench.ext6_multitenant"),
     "ext7": _figure("repro.bench.ext7_fault_recovery"),
     "ext8": _figure("repro.bench.ext8_txn"),
+    "ext9": _figure("repro.bench.ext9_fabric_scale"),
     "sweep_parallel": _sweep_parallel,
 }
 
 #: The smoke-friendly subset (`make perf-quick`).
-QUICK_SCENARIOS = ("engine_dispatch", "fig5", "ext8")
+QUICK_SCENARIOS = ("engine_dispatch", "fig5", "ext8", "ext9")
 
 
 def _digest(outcome: dict) -> str:

@@ -14,8 +14,8 @@ from __future__ import annotations
 from repro.verbs.qp import QPState
 from repro.verbs.types import CompletionStatus, Opcode
 
-__all__ = ["ConservationChecker", "ConsolidationChecker", "OverlapChecker",
-           "QpStateChecker", "TenancyChecker"]
+__all__ = ["ConservationChecker", "ConsolidationChecker", "FabricChecker",
+           "OverlapChecker", "QpStateChecker", "TenancyChecker"]
 
 
 class _QpBook:
@@ -362,3 +362,79 @@ class TenancyChecker:
                         f"SLO counter {field!r} went backwards: "
                         f"{old} -> {new}")
         self._slo_snap[tenant] = snap
+
+
+class FabricChecker:
+    """Per-link packet conservation on queued fabrics.
+
+    Every hop of every ``Route.traverse`` reports through
+    ``on_fabric_hop``; the checker shadows each link's counters from its
+    own observations and cross-checks at finalize:
+
+    * **conservation** — ``packets_in == packets_out + packets_dropped``
+      on every link it saw (nothing vanishes from a queue, nothing is
+      delivered twice);
+    * **divergence** — the link's own counters moved exactly as much as
+      the observed hops account for (a mutation outside ``Link.admit``
+      would split them);
+    * **mark sanity** — a link never marks more packets than it delivers.
+
+    Like every checker it is pure observation: no events, no rng, no
+    model mutation.  A sanitizer installed mid-run snapshots each link's
+    counters at first sight and checks deltas, so late installation
+    never produces false positives.
+    """
+
+    name = "fabric"
+
+    def __init__(self, san):
+        self.san = san
+        #: id(link) -> [link, base_in, base_out, base_drop, base_ecn,
+        #:              seen_in, seen_out, seen_drop, seen_ecn]
+        self._links: dict[int, list] = {}
+        self.hops_seen = 0
+
+    def on_hop(self, link, packets: int, outcome: str) -> None:
+        self.hops_seen += 1
+        rec = self._links.get(id(link))
+        if rec is None:
+            # First sight: baseline = counters *before* this hop landed.
+            dropped = packets if outcome == "drop" else 0
+            marked = packets if outcome == "ecn" else 0
+            out = 0 if outcome == "drop" else packets
+            rec = self._links[id(link)] = [
+                link, link.packets_in - packets, link.packets_out - out,
+                link.packets_dropped - dropped, link.ecn_marks - marked,
+                0, 0, 0, 0]
+        rec[5] += packets
+        if outcome == "drop":
+            rec[7] += packets
+        else:
+            rec[6] += packets
+            if outcome == "ecn":
+                rec[8] += packets
+
+    def finalize(self) -> None:
+        for rec in self._links.values():
+            link, b_in, b_out, b_drop, b_ecn, s_in, s_out, s_drop, s_ecn = rec
+            if link.packets_in != link.packets_out + link.packets_dropped:
+                self.san.record(
+                    self.name, f"link={link.name}", "conservation",
+                    f"packets_in {link.packets_in} != out "
+                    f"{link.packets_out} + dropped {link.packets_dropped}")
+            for label, counter, expect in (
+                    ("packets_in", link.packets_in, b_in + s_in),
+                    ("packets_out", link.packets_out, b_out + s_out),
+                    ("packets_dropped", link.packets_dropped,
+                     b_drop + s_drop),
+                    ("ecn_marks", link.ecn_marks, b_ecn + s_ecn)):
+                if counter != expect:
+                    self.san.record(
+                        self.name, f"link={link.name}", "divergence",
+                        f"{label} moved outside Route.traverse: "
+                        f"counter {counter} != observed {expect}")
+            if link.ecn_marks > link.packets_out:
+                self.san.record(
+                    self.name, f"link={link.name}", "marks",
+                    f"more ECN marks ({link.ecn_marks}) than delivered "
+                    f"packets ({link.packets_out})")

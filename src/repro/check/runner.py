@@ -20,6 +20,9 @@ register claims), run to completion, drained, and finalized:
   serializability oracle judges every commit while transport recovery
   replays interrupted lock CASes.  Strict overlap stays off — commit
   write-back intentionally overwrites the previous version's value.
+* ``fabric`` — cross-rack traffic on a leaf-spine fabric while a spine
+  link dies and another degrades: ECMP re-salting + retransmission
+  route around the faults under the per-link conservation checker.
 
 Exit status 0 iff every scenario reports zero violations (the CI
 contract: ``make check``).
@@ -242,6 +245,84 @@ def _scenario_txn() -> Sanitizer:
     return san
 
 
+def _scenario_fabric() -> Sanitizer:
+    """Multi-switch fabric under link faults: kill a spine, route around.
+
+    Cross-rack WRITE/READ traffic on a 9-host leaf-spine fabric while a
+    spine uplink dies mid-run and a spine downlink is bandwidth-degraded:
+    ECMP pins flows per QP, the dead link eats whole attempts, and each
+    retransmission re-salts the hash until traffic rides the surviving
+    spine.  The fabric checker audits per-link packet conservation
+    through all of it.
+    """
+    from repro.bench.runner import read_wr, write_wr
+    from repro.hw import FaultInjector
+    from repro.verbs import QPState, Worker
+
+    n_ops, op_bytes = 32, 2048
+    sim, cluster, ctx = build(machines=9, topology="leaf-spine")
+    san = Sanitizer(sim, strict_overlap=True)
+    fabric = cluster.fabric
+    injector = FaultInjector(sim)
+    # Clients on rack 0 target hosts on racks 1 and 2 — all cross-rack,
+    # so every flow rides a spine.
+    pairs = [(1, 4), (2, 5), (3, 8)]
+    qps, done = [], []
+
+    def client(src: int, dst: int):
+        w = Worker(ctx, src, name=f"fabric.c{src}")
+        qp = ctx.create_qp(src, dst)
+        qps.append(qp)
+        lmr = ctx.register(src, op_bytes)
+        rmr = ctx.register(dst, op_bytes * 2)
+        ops = 0
+        while ops < n_ops:
+            if qp.state is QPState.ERR:
+                # Retry budget died against the dead spine: reconnect
+                # (which re-pins the ECMP route) and carry on.
+                yield ctx.reconnect_qp(qp)
+                continue
+            wr = (write_wr if ops % 2 == 0 else read_wr)(lmr, rmr, op_bytes)
+            ev = yield from w.post(qp, wr)
+            comp = yield from w.wait(ev)
+            if comp.ok:
+                ops += 1
+        done.append(src)
+
+    # Fault schedule: one spine uplink dies outright mid-run; a spine
+    # downlink on the other spine flaps down to half rate.
+    sim.timeout(40_000.0).add_callback(
+        lambda _e: injector.link_down(fabric.leaf_up[0][0],
+                                      duration_ns=250_000.0))
+    sim.timeout(60_000.0).add_callback(
+        lambda _e: injector.degrade_link(fabric.spine_down[1][1], 0.5,
+                                         duration_ns=150_000.0))
+
+    procs = [sim.process(client(s, d), name=f"check.fabric{s}")
+             for s, d in pairs]
+    for p in procs:
+        sim.run(until=p)
+    sim.run()
+
+    if len(done) != len(pairs):
+        raise AssertionError("a fabric client never finished its ops")
+    if fabric.drops == 0:
+        raise AssertionError("the dead spine link ate no packets; the "
+                             "fault schedule has gone stale")
+    if not any(qp.retransmissions for qp in qps):
+        raise AssertionError("no retransmissions — the ECMP re-salt path "
+                             "was never exercised")
+    spines_used = [s for s in range(fabric.spines)
+                   if any(fabric.spine_down[s][l].packets_out
+                          for l in range(fabric.leaves))]
+    if len(spines_used) != fabric.spines:
+        raise AssertionError(f"traffic only rode spines {spines_used}; "
+                             "expected ECMP to use both")
+    if injector.afflicted_count:
+        raise AssertionError("link faults did not heal")
+    return san
+
+
 SCENARIOS = {
     "hashtable": _scenario_hashtable,
     "shuffle": _scenario_shuffle,
@@ -249,6 +330,7 @@ SCENARIOS = {
     "dlog": _scenario_dlog,
     "chaos": _scenario_chaos,
     "txn": _scenario_txn,
+    "fabric": _scenario_fabric,
 }
 
 

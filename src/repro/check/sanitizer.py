@@ -28,6 +28,7 @@ from typing import Iterable, Optional
 from repro.check.checkers import (
     ConservationChecker,
     ConsolidationChecker,
+    FabricChecker,
     OverlapChecker,
     QpStateChecker,
     TenancyChecker,
@@ -39,7 +40,7 @@ __all__ = ["CHECKER_NAMES", "Sanitizer"]
 
 #: Every pluggable checker, in report order.
 CHECKER_NAMES = ("conservation", "qp_state", "overlap", "locks",
-                 "sequencer", "consolidation", "tenancy", "txn")
+                 "sequencer", "consolidation", "tenancy", "txn", "fabric")
 
 
 class Sanitizer:
@@ -84,6 +85,7 @@ class Sanitizer:
                               if "consolidation" in names else None)
         self.tenancy = TenancyChecker(self) if "tenancy" in names else None
         self.txn = TxnOracle(self) if "txn" in names else None
+        self.fabric = FabricChecker(self) if "fabric" in names else None
         self.sweep_every = sweep_every
         self._tick = 0
         self.events_seen = 0
@@ -113,7 +115,7 @@ class Sanitizer:
         """
         if not self.report.finalized:
             for checker in (self.conservation, self.locks, self.sequencer,
-                            self.consolidation, self.txn):
+                            self.consolidation, self.txn, self.fabric):
                 if checker is not None:
                     checker.finalize()
             self.report.finalized = True
@@ -221,6 +223,17 @@ class Sanitizer:
     def on_txn_abort(self, client, txn_id: str, reason: str) -> None:
         if self.txn is not None:
             self.txn.on_abort(client, txn_id, reason)
+
+    # -- fabric hooks --------------------------------------------------------
+    def on_fabric_hop(self, link, packets: int, outcome: str) -> None:
+        """One message crossed (or died at) one fabric link.
+
+        ``outcome``: "ok" | "ecn" (delivered with a mark) | "drop".
+        Called from ``Route.traverse`` on queued fabrics only — plain
+        single-switch routes have no links to conserve.
+        """
+        if self.fabric is not None:
+            self.fabric.on_hop(link, packets, outcome)
 
     # -- tenancy hooks -----------------------------------------------------------
     def on_bucket_consume(self, tenant: str, bucket) -> None:

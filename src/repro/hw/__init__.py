@@ -8,7 +8,9 @@ Everything the paper's observations depend on is modeled explicitly:
 * :mod:`repro.hw.pcie` — MMIO doorbells, DMA TLPs, scatter/gather DMA.
 * :mod:`repro.hw.sram` — the RNIC's small on-device metadata cache (LRU).
 * :mod:`repro.hw.rnic` — ports, execution units, link serialization.
-* :mod:`repro.hw.switch` — the cluster switch (per-hop latency).
+* :mod:`repro.hw.fabric` — topologies (single / leaf-spine / Clos), link
+  queues, ECN + DCQCN congestion control, ECMP routing.
+* :mod:`repro.hw.switch` — deprecated alias for the single-switch fabric.
 * :mod:`repro.hw.machine` / :mod:`repro.hw.cluster` — composition.
 """
 
@@ -17,6 +19,8 @@ from repro.hw.dram import DramModel, AccessPattern
 from repro.hw.numa import NumaTopology
 from repro.hw.pcie import PcieLink
 from repro.hw.sram import MetadataCache
+from repro.hw.fabric import (ClosFabric, DcqcnLimiter, Fabric, LeafSpineFabric,
+                             Link, Route, SingleSwitchFabric, build_fabric)
 from repro.hw.rnic import Rnic, RnicPort
 from repro.hw.switch import Switch
 from repro.hw.machine import Machine
@@ -25,17 +29,25 @@ from repro.hw.faults import FaultInjector
 
 __all__ = [
     "AccessPattern",
+    "ClosFabric",
     "Cluster",
+    "DcqcnLimiter",
     "DramModel",
+    "Fabric",
     "FaultInjector",
     "HardwareParams",
+    "LeafSpineFabric",
+    "Link",
     "Machine",
     "MetadataCache",
     "NumaTopology",
     "PcieLink",
     "Rnic",
     "RnicPort",
+    "Route",
     "ServiceConfig",
+    "SingleSwitchFabric",
     "Switch",
     "TenantSpec",
+    "build_fabric",
 ]

@@ -1,0 +1,102 @@
+"""DCQCN-style AI/MD rate limiter, one per RNIC port.
+
+DCQCN (Zhu et al., SIGCOMM'15) is the congestion control RoCE deploys:
+switches ECN-mark packets above a buffer threshold, the receiver echoes
+marks back (CNPs), and the sender multiplicatively decreases its rate on
+a mark and additively recovers toward line rate while mark-free.  This
+model keeps the AI/MD shape and drops the byte-counter/timer stages —
+at DES fidelity the ECN echo is free (the requester learns the mark when
+the traversal completes).
+
+The limiter is *event-free*: it never schedules sim events of its own.
+``pace_ns`` returns the extra delay a message must wait before its tx so
+the port's long-run rate matches ``rate_Bns`` (the RNIC already pays
+``1/line_rate`` serialization; the limiter charges only the difference),
+tracked with the same virtual-time bookkeeping the fabric links use.
+A disabled limiter is ``None`` on the port, so the default single-switch
+schedule is untouched.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..params import HardwareParams
+
+__all__ = ["DcqcnLimiter"]
+
+
+class DcqcnLimiter:
+    """Additive-increase / multiplicative-decrease pacing for one port."""
+
+    __slots__ = ("line_Bns", "rate_Bns", "min_Bns", "ai_Bns_per_us", "md",
+                 "md_window_ns", "_next_free", "_last_event_ns",
+                 "_last_md_ns", "ecn_marks", "decreases")
+
+    def __init__(self, params: "HardwareParams") -> None:
+        self.line_Bns = params.link_bandwidth_Bns
+        self.rate_Bns = params.link_bandwidth_Bns
+        self.min_Bns = params.dcqcn_min_rate_Bns
+        self.ai_Bns_per_us = params.dcqcn_rate_ai_Bns
+        self.md = params.dcqcn_rate_md
+        self.md_window_ns = params.dcqcn_md_window_ns
+        self._next_free = 0.0
+        self._last_event_ns = 0.0
+        self._last_md_ns = -float("inf")
+        self.ecn_marks = 0
+        self.decreases = 0
+
+    @property
+    def throttled(self) -> bool:
+        return self.rate_Bns < self.line_Bns
+
+    def on_ecn(self, now: float) -> None:
+        """An ECN-marked delivery: multiplicative decrease.
+
+        Decreases are coalesced to at most one per ``md_window_ns`` —
+        the analogue of DCQCN's one-CNP-per-timer rule.  A queue burst
+        marks every packet it holds; reacting to each mark individually
+        would crash the rate to the floor on a single transient, so
+        marks inside the window count but do not decrease further.
+        """
+        self.ecn_marks += 1
+        self._last_event_ns = now
+        if now - self._last_md_ns < self.md_window_ns:
+            return
+        self._last_md_ns = now
+        self.decreases += 1
+        self.rate_Bns = max(self.min_Bns, self.rate_Bns * (1.0 - self.md))
+
+    def on_delivered(self, now: float) -> None:
+        """A mark-free delivery: additively recover toward line rate,
+        proportional to the mark-free time elapsed — but at most one
+        ``md_window_ns`` of credit per delivery.  Without the cap, a
+        sender stalled behind a long retransmission timeout would bank
+        that idle time and leap straight back to line rate on its first
+        delivery, re-bursting into the queue that throttled it; real
+        DCQCN's timer/byte-counter staging recovers in steps for the
+        same reason."""
+        if self.rate_Bns >= self.line_Bns:
+            self._last_event_ns = now
+            return
+        elapsed_ns = now - self._last_event_ns
+        if elapsed_ns > self.md_window_ns:
+            elapsed_ns = self.md_window_ns
+        if elapsed_ns > 0.0:
+            self.rate_Bns = min(
+                self.line_Bns,
+                self.rate_Bns + self.ai_Bns_per_us * elapsed_ns * 1e-3)
+            self._last_event_ns = now
+
+    def pace_ns(self, now: float, nbytes: int) -> float:
+        """Extra pre-tx delay for a message of ``nbytes`` so the port's
+        long-run throughput tracks ``rate_Bns``.  Returns 0.0 at line
+        rate (and resets the pacing clock)."""
+        if self.rate_Bns >= self.line_Bns:
+            self._next_free = now
+            return 0.0
+        extra = nbytes * (1.0 / self.rate_Bns - 1.0 / self.line_Bns)
+        start = self._next_free if self._next_free > now else now
+        self._next_free = start + extra
+        return start - now

@@ -17,15 +17,30 @@ RC transport layer (:mod:`repro.verbs.qp`) turns into retransmissions,
 * :meth:`FaultInjector.port_down` / :meth:`FaultInjector.port_up` — hard
   link state, for failover studies.
 
+Fabric links (:class:`repro.hw.fabric.Link`, the cables *between*
+switches on multi-switch topologies) fail independently of NIC ports:
+
+* :meth:`FaultInjector.drop_link` — i.i.d. packet loss on one link;
+* :meth:`FaultInjector.degrade_link` — bandwidth cut (a flapping optic
+  renegotiated to a lower rate): queues build and drain slower;
+* :meth:`FaultInjector.link_down` / :meth:`FaultInjector.link_up` —
+  hard state; every packet routed over the dead link is dropped, which
+  the requesters recover from by re-salting their ECMP hash per
+  retransmission — the chaos scenario in ``make check`` kills a spine
+  link and watches traffic route around it.
+
+Faults heal by kind: a scheduled heal removes only the fault it was
+scheduled with, never an unrelated injection on the same port or link.
 Injection is off by default and costs nothing when unused.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Union
 
 import numpy as np
 
+from repro.hw.fabric import Link
 from repro.hw.rnic import RnicPort
 from repro.sim import Simulator
 
@@ -33,22 +48,27 @@ __all__ = ["FaultInjector"]
 
 
 class FaultInjector:
-    """Degrades ports; restores them on demand or on a schedule."""
+    """Degrades ports and fabric links; restores them on demand or on a
+    schedule."""
 
     def __init__(self, sim: Simulator,
                  rng: Optional[np.random.Generator] = None):
         self.sim = sim
         self.rng = rng
-        #: id(port) -> (port, set of active fault kinds:
-        #: "slow" / "jitter" / "drop" / "blackhole" / "down").
-        self._afflicted: dict[int, tuple[RnicPort, set[str]]] = {}
+        #: id(target) -> (target, set of active fault kinds).  Targets are
+        #: RnicPorts (kinds "slow" / "jitter" / "drop" / "blackhole" /
+        #: "down") or fabric Links (kinds "link_drop" / "link_degrade" /
+        #: "link_down").
+        self._afflicted: dict[int, tuple[Union[RnicPort, Link], set[str]]] = {}
 
-    def _afflict(self, port: RnicPort, kind: str,
+    def _afflict(self, port: Union[RnicPort, Link], kind: str,
                  duration_ns: Optional[float]) -> None:
         # Cost-model caches are invalidated on every injection (and heal,
         # see _heal) — see Rnic.invalidate_cost_caches for why this is a
-        # contract rather than a correctness requirement today.
-        port.rnic.invalidate_cost_caches()
+        # contract rather than a correctness requirement today.  Fabric
+        # links sit between switches and have no RNIC to invalidate.
+        if isinstance(port, RnicPort):
+            port.rnic.invalidate_cost_caches()
         entry = self._afflicted.get(id(port))
         if entry is None:
             entry = (port, set())
@@ -125,13 +145,57 @@ class FaultInjector:
         """Bring a downed link back (heals only the "down" fault)."""
         self._heal(port, {"down"})
 
-    def _heal(self, port: RnicPort, kinds: Optional[set[str]] = None) -> None:
+    # -- fabric-link faults (multi-switch topologies, repro.hw.fabric) -------
+    def drop_link(self, link: Link, prob: float,
+                  duration_ns: Optional[float] = None) -> None:
+        """Drop each packet crossing ``link`` i.i.d. with ``prob``.
+
+        Like :meth:`drop_port` but scoped to one fabric hop, so only the
+        flows ECMP pinned onto this link suffer — their retransmissions
+        re-salt the hash and (usually) route around it.
+        """
+        if not 0.0 < prob <= 1.0:
+            raise ValueError(f"drop probability must be in (0, 1]: {prob}")
+        if self.rng is None:
+            raise ValueError("drop_link requires an rng")
+        link.loss_rng = self.rng
+        link.loss_prob = prob
+        self._afflict(link, "link_drop", duration_ns)
+
+    def degrade_link(self, link: Link, factor: float,
+                     duration_ns: Optional[float] = None) -> None:
+        """Cut ``link``'s bandwidth to ``factor`` of nominal (0 < f < 1).
+
+        A flapping optic renegotiated to a lower rate: packets serialize
+        slower, the queue builds at the same arrival rate, ECN fires
+        earlier in wall-clock terms, and overflow tail-drops.
+        """
+        if not 0.0 < factor < 1.0:
+            raise ValueError(
+                f"degrade factor must be in (0, 1): {factor}")
+        link.degrade_factor = factor
+        self._afflict(link, "link_degrade", duration_ns)
+
+    def link_down(self, link: Link,
+                  duration_ns: Optional[float] = None) -> None:
+        """Kill a fabric link: everything routed over it is dropped until
+        :meth:`link_up` (or the scheduled heal)."""
+        link.up = False
+        self._afflict(link, "link_down", duration_ns)
+
+    def link_up(self, link: Link) -> None:
+        """Bring a dead fabric link back (heals only "link_down")."""
+        self._heal(link, {"link_down"})
+
+    def _heal(self, port: Union[RnicPort, Link],
+              kinds: Optional[set[str]] = None) -> None:
         """Heal ``kinds`` (default: every fault) on ``port`` — and only
         those, so a scheduled heal never wipes an unrelated injection."""
         entry = self._afflicted.get(id(port))
         if entry is None:
             return
-        port.rnic.invalidate_cost_caches()
+        if isinstance(port, RnicPort):
+            port.rnic.invalidate_cost_caches()
         for kind in (entry[1] & kinds) if kinds is not None else set(entry[1]):
             if kind == "slow":
                 port.slowdown = 1.0
@@ -141,6 +205,13 @@ class FaultInjector:
             elif kind == "drop":
                 port.loss_prob = 0.0
                 port.loss_rng = None
+            elif kind == "link_drop":
+                port.loss_prob = 0.0
+                port.loss_rng = None
+            elif kind == "link_degrade":
+                port.degrade_factor = 1.0
+            elif kind == "link_down":
+                port.up = True
             else:  # "blackhole" / "down" — link comes back only when
                 entry[1].discard(kind)  # ...no other link fault remains.
                 if not entry[1] & {"blackhole", "down"}:
@@ -155,5 +226,5 @@ class FaultInjector:
 
     @property
     def afflicted_count(self) -> int:
-        """Ports with at least one active fault (of either kind)."""
+        """Ports and fabric links with at least one active fault."""
         return len(self._afflicted)

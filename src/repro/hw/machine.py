@@ -3,10 +3,10 @@
 from __future__ import annotations
 
 from repro.hw.dram import DramModel
+from repro.hw.fabric import Fabric
 from repro.hw.numa import NumaTopology
 from repro.hw.params import HardwareParams
 from repro.hw.rnic import Rnic, RnicPort
-from repro.hw.switch import Switch
 from repro.sim import Simulator
 
 __all__ = ["Machine"]
@@ -20,15 +20,17 @@ class Machine:
     lives in :mod:`repro.memory`; this class is purely the hardware.
     """
 
-    def __init__(self, sim: Simulator, params: HardwareParams, switch: Switch,
+    def __init__(self, sim: Simulator, params: HardwareParams, fabric: Fabric,
                  machine_id: int):
         self.sim = sim
         self.params = params
         self.machine_id = machine_id
         self.topology = NumaTopology(params)
         self.dram = DramModel(params, self.topology)
-        self.rnic = Rnic(sim, params, self.topology, switch,
-                         name=f"m{machine_id}.rnic")
+        self.rnic = Rnic(sim, params, self.topology, fabric,
+                         name=f"m{machine_id}.rnic", machine_id=machine_id)
+        #: Which rack (leaf/edge switch) this machine hangs off.
+        self.rack = fabric.rack_of(machine_id)
         # Per-socket allocation cursors for the memory allocator.
         self.sockets = list(range(params.sockets_per_machine))
 

@@ -192,6 +192,38 @@ class HardwareParams:
     #: (re-exchange of QPNs/PSNs out of band; ~tens of us in practice).
     qp_reconnect_ns: float = 50_000.0
 
+    # ---- multi-switch fabric (repro.hw.fabric) -------------------------------
+    #: Egress buffer per fabric link, in MTU-sized packets.  A packet that
+    #: arrives to a full buffer is tail-dropped and recovered by the RC
+    #: retransmission machinery above.
+    link_queue_depth: int = 64
+    #: Fraction of the link buffer above which departing packets are
+    #: ECN-marked (the DCQCN congestion signal).  0 < threshold <= 1.
+    ecn_threshold: float = 0.35
+    #: Leaf/edge uplink thinning factor: 1.0 builds a non-blocking fabric,
+    #: 4.0 gives each leaf a quarter of the uplink bandwidth its hosts
+    #: could offer (classic 4:1 oversubscription).
+    oversubscription: float = 1.0
+    #: Attach a DCQCN-style AI/MD rate limiter to every RNIC port.  Off by
+    #: default: the limiter only engages on queued (multi-switch) fabrics,
+    #: but the knob is global so single-switch digests stay untouched.
+    dcqcn_enabled: bool = False
+    #: Multiplicative decrease applied to a port's send rate per ECN-marked
+    #: delivery: rate *= (1 - dcqcn_rate_md).
+    dcqcn_rate_md: float = 0.5
+    #: Additive increase in B/ns restored per microsecond of mark-free
+    #: delivery, until the rate returns to line rate.
+    dcqcn_rate_ai_Bns: float = 0.10
+    #: Floor on the throttled send rate (B/ns) so a marked port always
+    #: makes progress.
+    dcqcn_min_rate_Bns: float = 0.25
+    #: Coalescing window for multiplicative decreases: at most one rate
+    #: cut per window, however many marked deliveries land inside it (the
+    #: analogue of DCQCN's one-CNP-per-50us timer — a queue transient
+    #: marks a whole burst, and reacting to every mark would crash the
+    #: rate to the floor).
+    dcqcn_md_window_ns: float = 10_000.0
+
     # ---- RPC substrate (two-sided Send/Recv, Section III-E) -----------------
     #: Server CPU service time per RPC request.  1/700 ns = 1.43 MOPS,
     #: the RPC sequencer plateau of Fig 10b.
@@ -261,6 +293,21 @@ class HardwareParams:
             raise ValueError("retry_cnt must be >= 0")
         if self.qp_reconnect_ns < 0:
             raise ValueError("qp_reconnect_ns must be >= 0")
+        if self.link_queue_depth < 1:
+            raise ValueError("link_queue_depth must be >= 1")
+        if not 0.0 < self.ecn_threshold <= 1.0:
+            raise ValueError("ecn_threshold must be in (0, 1]")
+        if self.oversubscription < 1.0:
+            raise ValueError("oversubscription must be >= 1")
+        if not 0.0 < self.dcqcn_rate_md < 1.0:
+            raise ValueError("dcqcn_rate_md must be in (0, 1)")
+        if self.dcqcn_rate_ai_Bns <= 0:
+            raise ValueError("dcqcn_rate_ai_Bns must be positive")
+        if not 0.0 < self.dcqcn_min_rate_Bns <= self.link_bandwidth_Bns:
+            raise ValueError(
+                "dcqcn_min_rate_Bns must be in (0, link_bandwidth_Bns]")
+        if self.dcqcn_md_window_ns < 0:
+            raise ValueError("dcqcn_md_window_ns must be >= 0")
 
 
 @dataclass(frozen=True)

@@ -16,11 +16,11 @@ from __future__ import annotations
 
 from typing import Generator, Optional
 
+from repro.hw.fabric import DcqcnLimiter, Fabric
 from repro.hw.numa import NumaTopology
 from repro.hw.params import HardwareParams
 from repro.hw.pcie import PcieLink
 from repro.hw.sram import MetadataCache
-from repro.hw.switch import Switch
 from repro.sim import Resource, Simulator
 
 __all__ = ["Rnic", "RnicPort"]
@@ -64,6 +64,12 @@ class RnicPort:
         self.loss_rng = None
         self.link_up = True
         self.packets_dropped = 0
+        # DCQCN rate limiter (repro.hw.fabric.dcqcn): fed by ECN marks
+        # from queued fabrics, consulted by the RC transport before each
+        # tx attempt.  None when disabled — the sunny path never branches
+        # into pacing code, keeping single-switch schedules bit-identical.
+        self.dcqcn: Optional[DcqcnLimiter] = (
+            DcqcnLimiter(rnic.params) if rnic.params.dcqcn_enabled else None)
 
     def _perturb(self, hold: float) -> float:
         if self.slowdown != 1.0:
@@ -132,7 +138,7 @@ class RnicPort:
         finally:
             self.tx_unit.release()
         self.tx_ops += 1
-        self.rnic.switch.record(payload_bytes)
+        self.rnic.fabric.record(payload_bytes)
 
     # -- responder side -----------------------------------------------------
     def exec_rx(self, base_ns: float, extra_ns: float = 0.0,
@@ -180,11 +186,15 @@ class Rnic:
     """
 
     def __init__(self, sim: Simulator, params: HardwareParams,
-                 topology: NumaTopology, switch: Switch, name: str = ""):
+                 topology: NumaTopology, fabric: Fabric, name: str = "",
+                 machine_id: int = 0):
         self.sim = sim
         self.params = params
         self.topology = topology
-        self.switch = switch
+        self.fabric = fabric
+        #: Global machine id — the fabric resolves routes by the machine a
+        #: port belongs to (``port.rnic.machine_id``).
+        self.machine_id = machine_id
         self.name = name or "rnic"
         #: Device-wide memoized ``params.wire_time`` results keyed by
         #: payload size (params are frozen, so entries can never go stale;
@@ -216,6 +226,11 @@ class Rnic:
         #: QP-explosion effect (Section III-D), made first-class so the
         #: tenancy layer's connection cap has something real to protect.
         self.live_qps = 0
+
+    @property
+    def switch(self) -> Fabric:
+        """Legacy alias from the single-switch era; prefer ``fabric``."""
+        return self.fabric
 
     # -- connection-state SRAM pressure -------------------------------------
     def qp_attached(self) -> None:

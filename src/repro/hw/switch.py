@@ -1,39 +1,44 @@
-"""The cluster switch (18-port Mellanox InfiniScale-IV in the testbed).
+"""Deprecated alias for the single-switch fabric.
 
-Modeled as a non-blocking crossbar: each traversal pays a fixed per-hop
-switching latency plus wire propagation on each side.  Per-port bandwidth
-is enforced at the *sending* RNIC port (link serialization happens there),
-so the switch itself only adds latency — faithful to a non-oversubscribed
-single-switch fabric where the NIC is the bottleneck.
+The cluster switch (18-port Mellanox InfiniScale-IV in the testbed) used
+to live here as a standalone class; it is now
+:class:`repro.hw.fabric.SingleSwitchFabric` — the default, plain-route
+topology of the :mod:`repro.hw.fabric` subsystem.  ``Switch`` remains as
+a constructor-compatible subclass so out-of-tree code keeps working, and
+``Switch.traverse_ns()`` warns once per process: new code should resolve
+paths through ``fabric.path(src_port, dst_port)`` and pay them with
+``Route.traverse(nbytes)`` instead of reading a scalar hop latency.
 """
 
 from __future__ import annotations
 
-from repro.hw.params import HardwareParams
-from repro.sim import Simulator
+import warnings
+
+from repro.hw.fabric import SingleSwitchFabric
 
 __all__ = ["Switch"]
 
+_warned = False
 
-class Switch:
-    """Fixed-latency crossbar connecting every RNIC port in the cluster."""
 
-    def __init__(self, sim: Simulator, params: HardwareParams, ports: int = 18):
-        if ports < 2:
-            raise ValueError("a switch needs at least two ports")
-        self.sim = sim
-        self.params = params
-        self.ports = ports
-        self.packets = 0
-        self.bytes = 0
-        # Constant for a given (frozen) params; computed once, read per op.
-        self._traverse_ns = 2 * params.wire_latency_ns + params.switch_latency_ns
+class Switch(SingleSwitchFabric):
+    """Fixed-latency crossbar connecting every RNIC port in the cluster.
+
+    Deprecated name for :class:`~repro.hw.fabric.SingleSwitchFabric`.
+    """
 
     def traverse_ns(self) -> float:
-        """One-way latency through the fabric: wire in, switch, wire out."""
-        return self._traverse_ns
+        """One-way latency through the fabric: wire in, switch, wire out.
 
-    def record(self, nbytes: int) -> None:
-        """Accounting hook called by sending ports."""
-        self.packets += 1
-        self.bytes += nbytes
+        Deprecated: use ``fabric.path(src, dst).traverse(nbytes)``, which
+        also works on queued (multi-switch) topologies.
+        """
+        global _warned
+        if not _warned:
+            _warned = True
+            warnings.warn(
+                "Switch.traverse_ns() is deprecated; resolve a Route via "
+                "Fabric.path(src_port, dst_port) and pay it with "
+                "Route.traverse(nbytes)",
+                DeprecationWarning, stacklevel=2)
+        return self._traverse_ns

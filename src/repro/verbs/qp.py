@@ -140,6 +140,26 @@ class QueuePair:
         self._proc_names = {
             op: f"qp{self.qp_id}.{op.value}" for op in Opcode
         }
+        self._resolve_routes()
+
+    def _resolve_routes(self) -> None:
+        """Pin this connection's fabric paths (ECMP hashes the QP id).
+
+        Called at construction and again by ``RdmaContext.reconnect_qp``
+        after a port rebind.  On the default single-switch fabric both
+        routes are *plain* (``links == ()``): one bare yield of the
+        classic crossbar constant, schedule-identical to the pre-fabric
+        model.  Queued fabrics pin one forward and one reverse path;
+        retransmissions re-salt the forward hash to route around the
+        congested or dead path (see ``_execute``)."""
+        fabric = self.local_machine.rnic.fabric
+        self._route = fabric.path(self.local_port, self.remote_port,
+                                  flow=self.qp_id)
+        self._route_back = fabric.path(self.remote_port, self.local_port,
+                                       flow=self.qp_id)
+        self._queued = bool(self._route.links)
+        self._fwd_ns = self._route.plain_ns
+        self._bwd_ns = self._route_back.plain_ns
 
     @property
     def outstanding(self) -> int:
@@ -337,12 +357,21 @@ class QueuePair:
         status = CompletionStatus.SUCCESS
         losses = 0       # attempts that vanished (request or its ACK)
         retries_done = 0  # retransmissions actually performed
+        route = self._route
+        queued = self._queued   # multi-switch fabric: request pays per-hop
+        dcqcn = lport.dcqcn
         while True:
             if self.state is not QPState.RTS:
                 # An earlier WR killed the QP while this one waited on its
                 # transport timer: flush without re-touching the hardware.
                 status = CompletionStatus.WR_FLUSH_ERR
                 break
+            if dcqcn is not None:
+                # DCQCN pacing: delay this tx so the port's long-run rate
+                # tracks the limiter (no-op at line rate).
+                pace = dcqcn.pace_ns(sim.now, wire_payload)
+                if pace > 0.0:
+                    yield pace
             if outbound and not inline:
                 buf_socket = wr.sgl[0].mr.socket if wr.sgl else lport.socket
                 fetch = sim.process(
@@ -363,20 +392,37 @@ class QueuePair:
                 finally:
                     lport.tx_unit.release()
                 lport.tx_ops += 1
-                lrnic.switch.record(wire_payload)
+                lrnic.fabric.record(wire_payload)
             if (lport.link_up and rport.link_up
                     and lport.loss_prob == 0.0 and rport.loss_prob == 0.0):
                 # Sunny path: neither port can drop, so skip the per-attempt
                 # sampling calls entirely (they would not draw rng anyway —
                 # schedules are identical either way, just cheaper).
-                if stamp is not None:
-                    stamp("exec")
-                break
-            if not (lport.packet_lost() or rport.packet_lost()):
+                delivered = True
+            else:
                 # Cut-through folds the payload fetch into this window.
+                delivered = not (lport.packet_lost() or rport.packet_lost())
+            if delivered and not queued:
                 if stamp is not None:
                     stamp("exec")
                 break
+            if delivered:
+                # Queued fabric: the request pays its path here, inside the
+                # retry loop, because any hop may tail-drop it (the plain
+                # single-switch hop is paid in _responder_phase instead —
+                # same yield sequence, so default schedules are identical).
+                if stamp is not None:
+                    stamp("exec")
+                delivered, marked = yield from route.traverse(wire_payload)
+                if delivered:
+                    if dcqcn is not None:
+                        if marked:
+                            dcqcn.on_ecn(sim.now)
+                        else:
+                            dcqcn.on_delivered(sim.now)
+                    if stamp is not None:
+                        stamp("network")
+                    break
             # Lost attempt: the requester only learns from silence — hold
             # for the (exponentially backed-off) transport ACK timeout,
             # then either retransmit or declare the retry budget spent.
@@ -396,6 +442,12 @@ class QueuePair:
                 break
             retries_done += 1
             self.retransmissions += 1
+            if queued:
+                # ECMP re-salt: hash the retransmission onto a (usually)
+                # different equal-cost path, routing around the congested
+                # queue or dead link that ate the original.
+                route = lrnic.fabric.path(lport, rport,
+                                          flow=self.qp_id + 131 * losses)
 
         if status is CompletionStatus.SUCCESS:
             value = yield from self._responder_phase(wr, stamp, total_len)
@@ -454,10 +506,13 @@ class QueuePair:
         lport, rport = self.local_port, self.remote_port
         lrnic, rrnic = self.local_machine.rnic, self.remote_machine.rnic
 
-        # 4. Fabric.
-        yield lrnic.switch._traverse_ns
-        if stamp is not None:
-            stamp("network")
+        # 4. Fabric (request direction).  Queued topologies paid the
+        # droppable per-hop traversal inside _execute's retry loop; plain
+        # routes pay the fixed crossbar constant here.
+        if not self._queued:
+            yield self._fwd_ns
+            if stamp is not None:
+                stamp("network")
 
         # 5. Responder.
         value = None
@@ -534,8 +589,21 @@ class QueuePair:
 
             stamp("responder")
 
-        # 6. ACK / response returns.
-        yield lrnic.switch._traverse_ns
+        # 6. ACK / response returns.  On queued fabrics the reverse path
+        # pays queue delay (a READ response is full payload on the wire)
+        # but rides the highest-priority VOQ: it is never tail-dropped, so
+        # a delivered-and-executed request is always acknowledged.  Losing
+        # ACKs instead would make the requester re-execute a completed op;
+        # port-level loss faults (which sample both ends) remain the model
+        # for that ambiguity.  See docs/FABRIC.md.
+        if self._queued:
+            _, marked = yield from self._route_back.traverse(
+                response_payload if response_payload else 16,
+                droppable=False)
+            if marked and lport.dcqcn is not None:
+                lport.dcqcn.on_ecn(sim.now)
+        else:
+            yield self._bwd_ns
         if stamp is not None:
             stamp("response_net")
 

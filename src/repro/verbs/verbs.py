@@ -139,6 +139,9 @@ class RdmaContext:
             qp.local_port = qp.local_machine.port(local_port)
         if remote_port is not None:
             qp.remote_port = qp.remote_machine.port(remote_port)
+        # Re-pin fabric routes: a port rebind (or a healed link) may change
+        # the ECMP choice this connection should ride.
+        qp._resolve_routes()
         for rnic in (qp.local_machine.rnic, qp.remote_machine.rnic):
             rnic.qp_cache.invalidate(qp.qp_id)
         ev = self.sim.timeout(self.params.qp_reconnect_ns)

@@ -52,6 +52,13 @@ def test_replication_recovery(capsys):
     assert "state intact" in out and "mark-me" in out
 
 
+def test_fabric_tour(capsys):
+    out = run_example("fabric_tour.py", capsys)
+    assert "one workload, three fabrics" in out
+    assert "3 racks" in out and "machine 4 (rack 1)" in out
+    assert "8/8 WRITEs" in out           # failover completed everything
+
+
 def test_multi_tenant_service(capsys):
     out = run_example("multi_tenant_service.py", capsys)
     assert "one RNIC, three SLOs" in out
