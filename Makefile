@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test lint smoke check chaos bench microbench figures figures-full scorecard experiments clean \
+.PHONY: install test lint lint-docs docs-check smoke check chaos bench microbench figures figures-full scorecard experiments clean \
 	perf perf-quick perf-update
 
 install:
@@ -20,11 +20,22 @@ lint:
 		|| { echo "ruff not installed; falling back to compileall"; \
 		     $(PY) -m compileall -q src tests benchmarks examples; }
 
+# Docs hygiene: dead file references and deprecated-API drift in
+# docs/ README.md examples/ (tools/lint_docs.py).
+lint-docs:
+	$(PY) tools/lint_docs.py
+
+# lint-docs plus the benchmark-catalog cross-check: docs/BENCHMARKS.md
+# must carry exactly one row per repro.bench.TARGETS entry.
+docs-check:
+	$(PY) tools/lint_docs.py --catalog
+
 # Fast end-to-end sanity: build the model, run the quickstart example,
 # gate the simulator fast path (engine microbench + fig5 + ext8 txn +
-# ext9 fabric incast) against the committed perf baseline, and run the
-# invariant-check suite.
-smoke: perf-quick check
+# ext9 fabric incast + the warm-pool campaign scenario) against the
+# committed perf baseline, run the invariant-check suite, and keep the
+# docs honest (dead links, deprecated APIs, benchmark catalog).
+smoke: perf-quick check docs-check
 	PYTHONPATH=src $(PY) examples/quickstart.py
 
 # Invariant sanitizer suite (docs/CHECKING.md): the four applications, an
@@ -41,10 +52,13 @@ check:
 perf:
 	PYTHONPATH=src $(PY) -m repro.bench.perf check
 
-# --quick gates the starred scenarios; the following lines additionally
-# prove the parallel campaign runner merges deterministically (serial
-# vs --jobs N figure digests must match; exits non-zero otherwise) —
-# fig5 for the paper path, ext9 for the multi-switch fabric path.
+# --quick gates the starred scenarios — including sweep_parallel, which
+# prints the warm-pool metrics block (jobs4_speedup, warm_start_ms,
+# ipc_bytes_per_point, cores) and fails if jobs4_speedup lands below
+# the 1.5x floor on a >=4-core machine.  The following lines
+# additionally prove the campaign runner merges deterministically
+# (serial vs --jobs N figure digests must match; exits non-zero
+# otherwise) — fig5 for the paper path, ext9 for the fabric path.
 perf-quick:
 	PYTHONPATH=src $(PY) -m repro.bench.perf check --quick
 	PYTHONPATH=src $(PY) -m repro.bench.parallel fig5 --jobs 2

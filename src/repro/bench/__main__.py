@@ -1,17 +1,25 @@
 """CLI: ``python -m repro.bench <target> [--full] [--jobs N]``.
 
 Targets regenerate the paper's tables and figures; ``all`` runs every one
-of them, ``summary`` reports the headline application speedups.
+of them, ``summary`` reports the headline application speedups.  The
+full catalog — what each target measures, its point counts, and the
+right incantation — is docs/BENCHMARKS.md.
 
 Sweep targets run as *point campaigns* (see :mod:`repro.bench.parallel`):
-``--jobs N`` fans the sweep points out over N worker processes and
-``--jobs auto`` uses every core; the merged tables are bit-identical to a
-serial run.  Point results are cached under ``--cache DIR`` (default
-``.bench-cache``) keyed by point config + hardware params + package
-version, so re-running after touching one figure module only recomputes
-that figure's points; ``--no-cache`` disables the cache.  ``--seed N``
-selects an alternate deterministic campaign seed (0 = the paper default
-that the committed digests pin).
+``--jobs N`` fans the sweep points out over a **warm worker pool** —
+forked once per invocation (one pool serves every target of an ``all``
+run) and fed point indices over lightweight pipes — and ``--jobs auto``
+uses every core; the merged tables are bit-identical to a serial run.
+``--chunk N`` pins the pool's chunk size (default: adaptive, sized from
+a measured per-point cost probe).  Point results are cached under
+``--cache DIR`` (default ``.bench-cache``) keyed by point config +
+hardware params + package version, so re-running after touching one
+figure module only recomputes that figure's points; with the pool, the
+cache is consulted *worker-side* so warm points never cross the pipe.
+``--no-cache`` disables the cache.  ``--seed N`` selects an alternate
+deterministic campaign seed (0 = the paper default that the committed
+digests pin).  ``--vectorized`` routes targets that expose
+``run_points_vector`` through a same-process shared-model lane.
 """
 
 from __future__ import annotations
@@ -31,7 +39,8 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-bench",
         description="Regenerate the tables/figures of 'Thinking More "
-                    "about RDMA Memory Semantics' (CLUSTER 2021).")
+                    "about RDMA Memory Semantics' (CLUSTER 2021). "
+                    "See docs/BENCHMARKS.md for the target catalog.")
     parser.add_argument("target", choices=sorted(TARGETS) + ["all"],
                         help="which table/figure to regenerate")
     parser.add_argument("--full", action="store_true",
@@ -45,6 +54,9 @@ def main(argv=None) -> int:
     parser.add_argument("--jobs", default="1", metavar="N",
                         help="worker processes for sweep points "
                              "(a number, or 'auto' for all cores)")
+    parser.add_argument("--chunk", type=int, default=None, metavar="N",
+                        help="pin the warm pool's points-per-chunk "
+                             "(default: adaptive probe-based sizing)")
     parser.add_argument("--cache", default=parallel.DEFAULT_CACHE_DIR,
                         metavar="DIR",
                         help="point-cache directory (default: "
@@ -54,6 +66,10 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=0,
                         help="campaign seed for all rig rngs (default 0 = "
                              "the paper runs; digests are pinned at 0)")
+    parser.add_argument("--vectorized", action="store_true",
+                        help="use the same-process shared-model lane for "
+                             "targets exposing run_points_vector "
+                             "(bypasses pool and cache for those targets)")
     args = parser.parse_args(argv)
     if args.full and args.quick:
         parser.error("--full and --quick are mutually exclusive")
@@ -64,35 +80,44 @@ def main(argv=None) -> int:
     set_campaign_seed(args.seed)
 
     targets = sorted(TARGETS) if args.target == "all" else [args.target]
-    for name in targets:
-        module = importlib.import_module(TARGETS[name])
-        t0 = time.time()
-        if parallel.point_capable(module):
-            result = parallel.run_campaign(name, quick=quick, jobs=jobs,
-                                           cache_dir=cache_dir,
-                                           seed=args.seed)
-            for i, fig in enumerate(result.figures):
-                if i:
-                    print()
+    # One warm pool serves every campaign of this invocation: workers
+    # fork once, import each target module once, then stream points.
+    pool = (parallel.WorkerPool(jobs, cache_dir=cache_dir, chunk=args.chunk)
+            if jobs > 1 else None)
+    try:
+        for name in targets:
+            module = importlib.import_module(TARGETS[name])
+            t0 = time.time()
+            if parallel.point_capable(module):
+                result = parallel.run_campaign(
+                    name, quick=quick, jobs=jobs, cache_dir=cache_dir,
+                    seed=args.seed, pool=pool, chunk=args.chunk,
+                    vectorized=args.vectorized)
+                for i, fig in enumerate(result.figures):
+                    if i:
+                        print()
+                    print(fig.to_text())
+                    if args.plot:
+                        from repro.bench.plot import render
+                        print()
+                        print(render(fig))
+                stats = f" [{result.stats_line}]" if cache_dir else ""
+                print(f"[{name} done in {time.time() - t0:.1f}s{stats}]\n")
+                continue
+            # Meta-targets (summary/breakdown/scorecard) aggregate other
+            # modules' runs and stay on the serial path.
+            if args.plot and hasattr(module, "run"):
+                from repro.bench.plot import render
+                fig = module.run(quick=quick)
                 print(fig.to_text())
-                if args.plot:
-                    from repro.bench.plot import render
-                    print()
-                    print(render(fig))
-            stats = f" [{result.stats_line}]" if cache_dir else ""
-            print(f"[{name} done in {time.time() - t0:.1f}s{stats}]\n")
-            continue
-        # Meta-targets (summary/breakdown/scorecard) aggregate other
-        # modules' runs and stay on the serial path.
-        if args.plot and hasattr(module, "run"):
-            from repro.bench.plot import render
-            fig = module.run(quick=quick)
-            print(fig.to_text())
-            print()
-            print(render(fig))
-        else:
-            module.main(quick=quick)
-        print(f"[{name} done in {time.time() - t0:.1f}s]\n")
+                print()
+                print(render(fig))
+            else:
+                module.main(quick=quick)
+            print(f"[{name} done in {time.time() - t0:.1f}s]\n")
+    finally:
+        if pool is not None:
+            pool.close()
     return 0
 
 

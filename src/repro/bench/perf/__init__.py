@@ -2,9 +2,11 @@
 
 ``repro.bench.regress`` guards *what* the model computes; this package
 guards *how fast* the engine computes it.  It times a fixed set of
-scenarios — a pure engine-dispatch microbenchmark plus the quick modes of
-representative figure sweeps (fig 1, fig 5, ext 6, ext 7) — and records,
-per scenario:
+scenarios — a pure engine-dispatch microbenchmark, the quick modes of
+representative figure sweeps (fig 1, fig 5, ext 6–9), and
+``sweep_parallel`` (the fig 1 campaign run serially and through a warm
+4-worker pool; see :mod:`repro.bench.parallel`) — and records, per
+scenario:
 
 * ``wall_s`` — host wall-clock seconds,
 * ``events`` — simulator events dispatched (``Simulator.total_events``
@@ -15,24 +17,33 @@ per scenario:
   series, final clock).  The simulator is deterministic, so the digest is
   machine-independent: any digest change means an engine or model change
   altered schedules, which the determinism contract
-  (docs/PERFORMANCE.md) forbids for pure optimizations.
+  (docs/PERFORMANCE.md) forbids for pure optimizations,
+* ``metrics`` (``sweep_parallel`` only) — wall-clock-derived campaign
+  numbers, excluded from the digest: serial and 4-job points/sec,
+  ``jobs4_speedup``, the pool's ``warm_start_ms``,
+  ``ipc_bytes_per_point``, and the usable ``cores``.
 
 Workflow::
 
     make perf            # run all scenarios, gate against BENCH_perf.json
-    make perf-quick      # engine microbench + fig5 only (smoke-friendly)
+    make perf-quick      # the smoke subset (includes sweep_parallel)
     make perf-update     # refresh the committed baseline on this machine
 
 The gate fails when a scenario's events/sec drops more than
-``DEFAULT_TOLERANCE`` (20%) below the committed baseline, or when any
-digest differs.  Wall-clock numbers are machine-dependent — refresh the
-baseline (``make perf-update``) when moving to different hardware; the
-digests must survive the move unchanged.
+``DEFAULT_TOLERANCE`` (20%) below the committed baseline, when any
+digest differs, or when ``jobs4_speedup`` lands below ``SPEEDUP_FLOOR``
+(1.5×) on a machine with at least ``SPEEDUP_CORES`` (4) usable cores —
+parallel campaigns must actually pay, not merely merge
+deterministically.  Wall-clock numbers are machine-dependent — refresh
+the baseline (``make perf-update``) when moving to different hardware;
+the digests must survive the move unchanged.
 """
 
 from repro.bench.perf.harness import (
     DEFAULT_TOLERANCE,
     SCENARIOS,
+    SPEEDUP_CORES,
+    SPEEDUP_FLOOR,
     check,
     load_baseline,
     main,
@@ -42,6 +53,8 @@ from repro.bench.perf.harness import (
 __all__ = [
     "DEFAULT_TOLERANCE",
     "SCENARIOS",
+    "SPEEDUP_CORES",
+    "SPEEDUP_FLOOR",
     "check",
     "load_baseline",
     "main",

@@ -20,6 +20,8 @@ from repro.sim import Simulator
 __all__ = [
     "DEFAULT_TOLERANCE",
     "SCENARIOS",
+    "SPEEDUP_CORES",
+    "SPEEDUP_FLOOR",
     "check",
     "load_baseline",
     "main",
@@ -28,6 +30,14 @@ __all__ = [
 
 #: Gate threshold: fail when events/sec drops by more than this fraction.
 DEFAULT_TOLERANCE = 0.20
+
+#: Parallel-campaign gate: the warm worker pool must deliver at least
+#: this speedup over serial with 4 jobs.  Enforced only when the run
+#: actually had >= SPEEDUP_CORES usable cores (recorded in the metrics
+#: block) — a 1-core CI runner physically cannot parallelize, but it
+#: still records the measured number.
+SPEEDUP_FLOOR = 1.5
+SPEEDUP_CORES = 4
 
 #: Default location of the committed baseline (repo root when invoked via
 #: the Makefile targets).
@@ -56,21 +66,27 @@ def _engine_dispatch(horizon_ns: float = 2_000_000.0) -> dict:
 
 
 def _sweep_parallel() -> dict:
-    """Campaign merge determinism: fig1 quick, serial vs 4 workers.
+    """Campaign merge determinism + warm-pool speedup: fig1 quick.
 
     Runs the same point campaign twice — inline and fanned out over a
-    4-worker pool — and digests the *merged figures*, which must be
+    warm 4-worker pool — and digests the *merged figures*, which must be
     bit-identical.  A mismatch fails here (and would fail the gate too,
     since the scenario digest covers the figure digest).  The wall-clock
     comparison lands in ``_metrics``, which is excluded from the digest:
-    speedup depends on core count, determinism does not.
+    speedup depends on core count, determinism does not.  The metrics
+    block also records the pool's warm-start latency, the IPC bytes per
+    point, and the usable core count — ``check`` enforces the
+    ``SPEEDUP_FLOOR`` only when ``cores >= SPEEDUP_CORES``.
     """
     from repro.bench import parallel
 
     serial = parallel.run_campaign("fig1", quick=True, jobs=1,
                                    cache_dir=None)
-    pooled = parallel.run_campaign("fig1", quick=True, jobs=4,
-                                   cache_dir=None)
+    with parallel.WorkerPool(4) as pool:
+        pooled = parallel.run_campaign("fig1", quick=True, jobs=4,
+                                       cache_dir=None, pool=pool)
+        warm_start_ms = pool.warm_start_ms
+        ipc_bytes = pool.ipc_bytes_per_point
     d_serial = parallel.figures_digest(serial.figures)
     d_pooled = parallel.figures_digest(pooled.figures)
     if d_serial != d_pooled:
@@ -87,6 +103,9 @@ def _sweep_parallel() -> dict:
             "jobs4_points_per_sec": round(pooled_rate, 2),
             "jobs4_speedup": round(pooled_rate / serial_rate, 2)
             if serial_rate else 0.0,
+            "warm_start_ms": round(warm_start_ms, 1),
+            "ipc_bytes_per_point": round(ipc_bytes, 1),
+            "cores": parallel.default_jobs(),
         },
     }
 
@@ -117,8 +136,10 @@ SCENARIOS: dict[str, Callable[[], dict]] = {
     "sweep_parallel": _sweep_parallel,
 }
 
-#: The smoke-friendly subset (`make perf-quick`).
-QUICK_SCENARIOS = ("engine_dispatch", "fig5", "ext8", "ext9")
+#: The smoke-friendly subset (`make perf-quick`).  sweep_parallel is in
+#: it so the warm-pool speedup floor is asserted on every smoke run.
+QUICK_SCENARIOS = ("engine_dispatch", "fig5", "ext8", "ext9",
+                   "sweep_parallel")
 
 
 def _digest(outcome: dict) -> str:
@@ -176,11 +197,24 @@ def check(baseline: dict, current: dict,
     * a digest mismatch — the *schedule* changed, which no optimization
       is allowed to do (model changes must refresh the baseline
       deliberately via ``make perf-update``);
-    * a scenario missing from either side.
+    * a scenario missing from either side;
+    * a ``jobs4_speedup`` below :data:`SPEEDUP_FLOOR` when the current
+      run had at least :data:`SPEEDUP_CORES` usable cores — parallel
+      campaigns must actually pay, not just merge deterministically.
     """
     failures: list[str] = []
     base = baseline["scenarios"]
     cur = current["scenarios"]
+    for name, row in cur.items():
+        metrics = row.get("metrics", {})
+        if "jobs4_speedup" in metrics:
+            cores = metrics.get("cores", 0)
+            speedup = metrics["jobs4_speedup"]
+            if cores >= SPEEDUP_CORES and speedup < SPEEDUP_FLOOR:
+                failures.append(
+                    f"{name}: jobs4_speedup {speedup}x is below the "
+                    f"{SPEEDUP_FLOOR}x floor on {cores} cores — the warm "
+                    "worker pool is not paying for its parallelism")
     for name in cur:
         if name not in base:
             failures.append(
@@ -216,10 +250,12 @@ def _print_table(data: dict, baseline: Optional[dict] = None) -> None:
 
 
 def _print_tracked(data: dict, baseline: Optional[dict] = None) -> None:
-    """Tracked (non-gating) metrics: wall-clock-derived numbers like the
-    parallel-sweep speedup, excluded from digests and the gate but worth
-    keeping visible.  Falls back to the committed baseline for scenarios
-    the current (e.g. --quick) run skipped."""
+    """Tracked metrics: wall-clock-derived numbers like the
+    parallel-sweep speedup, excluded from digests.  Most are
+    informational; ``jobs4_speedup`` is gated against
+    :data:`SPEEDUP_FLOOR` whenever the run had >= :data:`SPEEDUP_CORES`
+    cores.  Falls back to the committed baseline for scenarios the
+    current (e.g. --quick) run skipped."""
     cur = data["scenarios"]
     base = baseline["scenarios"] if baseline else {}
     lines = []
@@ -233,7 +269,9 @@ def _print_tracked(data: dict, baseline: Optional[dict] = None) -> None:
             body = " ".join(f"{k}={v}" for k, v in row.items())
             lines.append(f"  {name}: {body}{src}")
     if lines:
-        print("tracked metrics (informational, not gated):")
+        print(f"tracked metrics (jobs4_speedup gated at "
+              f">={SPEEDUP_FLOOR}x on >={SPEEDUP_CORES} cores; "
+              "the rest informational):")
         for line in lines:
             print(line)
 

@@ -20,6 +20,13 @@ Measurement conventions, so every figure is comparable:
   set ``move_data=False``: byte movement is modelled in time but not
   materialized, keeping micro-benchmarks allocation-free.  Tests that
   verify data integrity build their own WRs with ``move_data=True``.
+* **Points are the unit of parallelism.**  Because every point is a
+  fresh rig, each target also exposes the
+  ``points(quick)`` / ``run_point(point, quick)`` / ``assemble(values,
+  quick)`` contract, which lets :mod:`repro.bench.parallel` fan a sweep
+  over its warm worker pool and cache per-point results — with tables
+  bit-identical to the serial ``run()``.  docs/BENCHMARKS.md catalogs
+  every target; docs/PERFORMANCE.md specifies the contract.
 
 Everything here is deterministic given the rig's seed: run order is
 fixed by the event heap's (time, priority, sequence) key, never by host

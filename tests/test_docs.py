@@ -40,7 +40,8 @@ def test_readme_quickstart_executes():
 def test_docs_exist_and_are_substantial():
     for name in ("COST_MODEL.md", "ARCHITECTURE.md", "TUTORIAL.md",
                  "PAPER_MAP.md", "TENANCY.md", "RELIABILITY.md",
-                 "PERFORMANCE.md", "TXN.md", "FABRIC.md"):
+                 "PERFORMANCE.md", "TXN.md", "FABRIC.md",
+                 "BENCHMARKS.md"):
         path = DOCS / name
         assert path.exists(), f"missing docs/{name}"
         assert len(path.read_text()) > 2000
