@@ -32,9 +32,10 @@ docs-check:
 
 # Fast end-to-end sanity: build the model, run the quickstart example,
 # gate the simulator fast path (engine microbench + fig5 + ext8 txn +
-# ext9 fabric incast + the warm-pool campaign scenario) against the
-# committed perf baseline, run the invariant-check suite, and keep the
-# docs honest (dead links, deprecated APIs, benchmark catalog).
+# ext9 fabric incast + ext10 open-loop serving + the warm-pool campaign
+# scenario) against the committed perf baseline, run the invariant-check
+# suite, and keep the docs honest (dead links, deprecated APIs,
+# benchmark catalog).
 smoke: perf-quick check docs-check
 	PYTHONPATH=src $(PY) examples/quickstart.py
 
@@ -58,11 +59,13 @@ perf:
 # the 1.5x floor on a >=4-core machine.  The following lines
 # additionally prove the campaign runner merges deterministically
 # (serial vs --jobs N figure digests must match; exits non-zero
-# otherwise) — fig5 for the paper path, ext9 for the fabric path.
+# otherwise) — fig5 for the paper path, ext9 for the fabric path,
+# ext10 for the open-loop serving tier.
 perf-quick:
 	PYTHONPATH=src $(PY) -m repro.bench.perf check --quick
 	PYTHONPATH=src $(PY) -m repro.bench.parallel fig5 --jobs 2
 	PYTHONPATH=src $(PY) -m repro.bench.parallel ext9_fabric_scale --jobs 4
+	PYTHONPATH=src $(PY) -m repro.bench.parallel ext10_open_loop --jobs 4
 
 # Refresh the committed baseline (new machine, or a deliberate model
 # change that moved schedules).

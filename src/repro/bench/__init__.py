@@ -43,6 +43,7 @@ TARGETS = {
     "ext7_fault_recovery": "repro.bench.ext7_fault_recovery",
     "ext8_txn": "repro.bench.ext8_txn",
     "ext9_fabric_scale": "repro.bench.ext9_fabric_scale",
+    "ext10_open_loop": "repro.bench.ext10_open_loop",
     "breakdown": "repro.bench.breakdown",
     "scorecard": "repro.bench.scorecard",
 }

@@ -1,0 +1,262 @@
+"""Extension 10 — open-loop serving tier: the saturation knee.
+
+Every other bench in this repository is closed-loop — clients post the
+next op when the previous one completes, so measured throughput *is* the
+service rate and overload is unobservable.  A "millions of users"
+serving tier faces offered load it does not control: this bench drives
+the disaggregated hashtable through the full tenancy plane (admission
+window → WFQ → verbs) with open-loop arrival processes
+(:mod:`repro.workloads.arrivals`) at a sweep of offered intensities and
+reports what the plane actually does past its capacity:
+
+* **delivered MOPS** plateaus at the knee while offered load keeps
+  rising — the saturation throughput;
+* **p99/p999 latency** climbs from the uncontended service time to the
+  deadline-bounded ceiling (ops queued longer are shed at dispatch);
+* **shed rate** becomes the overflow valve: admission + deadline
+  rejections absorb the offered excess *explicitly*, never silently;
+* **the lease front cache** (:mod:`repro.load`) absorbs hot-key reads
+  client-side at zipf 0.99 — same offered load, higher delivered
+  goodput, because cache hits never spend a service slot.
+
+Three arrival processes share the x-axis: ``poisson`` (memoryless),
+``bursty`` (Markov-modulated on/off at 3x the mean rate during bursts),
+and ``diurnal`` (a two-peak day compressed into the horizon).  Each runs
+cache-off and cache-on.  Writes (5%) are sticky-routed one owner per
+key; the ``cache`` checker in ``make check`` proves the coherence
+contract this bench relies on.
+
+Deterministic: arrival timelines, key streams, and op mixes are drawn
+up front from per-point spawned PCG64 streams, so serial and
+``--jobs N`` campaigns merge bit-identically.
+"""
+
+from __future__ import annotations
+
+from repro import build
+from repro.apps.hashtable.backend import HashTableBackend
+from repro.apps.hashtable.layout import TableLayout
+from repro.bench.report import FigureResult
+from repro.bench.runner import bench_seed
+from repro.hw.params import ServiceConfig, TenantSpec
+from repro.load import (
+    InvalidationDirectory,
+    KvFrontDoor,
+    LeaseCache,
+    OpenLoopGenerator,
+    drain_open_loop,
+    find_knee,
+    preload_table,
+    sticky_owner_key,
+)
+from repro.sim.rng import spawn_rngs
+from repro.sim.stats import percentiles
+from repro.workloads import ZipfGenerator, make_arrivals
+
+__all__ = ["run", "main", "points", "run_point", "assemble"]
+
+#: Offered-load sweep in MOPS.  The plane below saturates near ~4.3
+#: MOPS (8 service slots x ~2 us per 64 B READ), so the sweep brackets
+#: the knee with headroom on both sides.
+RATES = [0.5, 2.0, 5.0, 8.0, 12.0]
+RATES_FULL = [0.5, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 8.0, 10.0, 12.0]
+PROCESSES = ["poisson", "bursty", "diurnal"]
+
+N_CLIENTS = 3                 # front doors (client machines 1..3)
+N_KEYS = 4096
+THETA = 0.99                  # the paper's YCSB-default zipf skew
+WRITE_FRAC = 0.05             # read-mostly, YCSB-B-shaped
+TENANT = "web"
+SCHEDULER_SLOTS = 8
+MAX_INFLIGHT = 192
+MAX_QUEUE_DEPTH = 128
+DEADLINE_US = 25.0            # queued past this -> shed at dispatch
+CACHE_CAPACITY = 128          # entries per front door
+CACHE_LEASE_US = 50.0
+SEED = 101_000
+
+
+def _run_load_point(process: str, rate_mops: float, cache_on: bool,
+                    horizon_ns: float) -> dict:
+    sim, cluster, ctx = build(machines=N_CLIENTS + 1)
+    plane_cfg = ServiceConfig(
+        tenants=(TenantSpec(TENANT, max_inflight=MAX_INFLIGHT,
+                            max_queue_depth=MAX_QUEUE_DEPTH,
+                            deadline_ns=DEADLINE_US * 1000.0),),
+        scheduler_slots=SCHEDULER_SLOTS)
+    from repro.tenancy import ServicePlane
+    plane = ServicePlane(ctx, plane_cfg)
+    layout = TableLayout(n_keys=N_KEYS, hot_keys=0,
+                         sockets=ctx.params.sockets_per_machine)
+    backend = HashTableBackend(ctx, 0, layout)
+    directory = InvalidationDirectory(sim)
+    preload_table(backend, directory)
+
+    # Seed varies per (process, rate, cache) so points are independent
+    # draws, yet stable across serial/parallel campaign scheduling.
+    base = (SEED + PROCESSES.index(process) * 1009
+            + int(round(rate_mops * 10)) + (499 if cache_on else 0))
+    rngs = spawn_rngs(bench_seed(base), 2 * N_CLIENTS)
+
+    gens = []
+    for i in range(N_CLIENTS):
+        cache = (LeaseCache(sim, CACHE_CAPACITY, CACHE_LEASE_US * 1000.0,
+                            name=f"front{i}") if cache_on else None)
+        door = KvFrontDoor(plane, backend, TENANT, machine=1 + i,
+                           cache=cache, directory=directory)
+        arrivals = make_arrivals(process, rate_mops / N_CLIENTS)
+        times = arrivals.arrival_times(horizon_ns, rngs[2 * i])
+        zipf = ZipfGenerator(N_KEYS, THETA, rngs[2 * i + 1])
+        keys = zipf.sample(max(1, len(times)))
+        writes = rngs[2 * i + 1].random(max(1, len(times))) < WRITE_FRAC
+
+        def request_fn(j, door=door, keys=keys, writes=writes, owner=i):
+            key = int(keys[j])
+            if writes[j]:
+                return door.put(
+                    sticky_owner_key(key, owner, N_CLIENTS, N_KEYS), b"w")
+            return door.get(key)
+
+        gens.append(OpenLoopGenerator(sim, request_fn, times,
+                                      name=f"open.{process}.m{1 + i}"))
+    for g in gens:
+        g.start()
+    drain_open_loop(gens)
+
+    offered = sum(g.offered for g in gens)
+    delivered = sum(g.delivered for g in gens)
+    sheds = sum(g.sheds for g in gens)
+    lats = sorted(lat for g in gens for lat in g.latencies)
+    p99, p999 = percentiles(lats, [99, 99.9])
+    slo = plane.metrics.snapshot()[TENANT]
+    return {
+        "offered": offered,
+        "delivered": delivered,
+        "delivered_mops": delivered / horizon_ns * 1e3,
+        "shed_pct": 100.0 * sheds / offered if offered else 0.0,
+        "errors": sum(g.errors for g in gens),
+        "p99_us": p99 / 1e3,
+        "p999_us": p999 / 1e3,
+        "hit_pct": 100.0 * slo["cache_hit_rate"],
+        "cache_hits": slo["cache_hits"],
+        "cache_misses": slo["cache_misses"],
+        "cache_invalidations": slo["cache_invalidations"],
+    }
+
+
+def points(quick: bool = True) -> list:
+    rates = RATES if quick else RATES_FULL
+    return [{"process": proc, "rate": rate, "cache": cache}
+            for proc in PROCESSES
+            for cache in (False, True)
+            for rate in rates]
+
+
+def run_point(point: dict, quick: bool = True):
+    horizon = 150_000.0 if quick else 400_000.0
+    return _run_load_point(point["process"], point["rate"], point["cache"],
+                           horizon)
+
+
+def assemble(values: list, quick: bool = True) -> FigureResult:
+    rates = RATES if quick else RATES_FULL
+    n = len(rates)
+    by_combo = {}
+    i = 0
+    for proc in PROCESSES:
+        for cache in (False, True):
+            by_combo[(proc, cache)] = values[i:i + n]
+            i += 1 * n
+
+    fig = FigureResult(
+        name="Ext 10",
+        title="Open-loop serving tier: saturation knee, shed rate, and "
+              "lease-cache absorption — extension",
+        x_label="offered MOPS",
+        x_values=rates,
+        y_label="delivered MOPS / p99 us / shed % / hit %")
+    for proc in PROCESSES:
+        for cache in (False, True):
+            tag = f"{proc}, cache {'on' if cache else 'off'}"
+            fig.add(f"delivered ({tag})",
+                    [round(v["delivered_mops"], 3)
+                     for v in by_combo[(proc, cache)]])
+    for cache in (False, True):
+        tag = "on" if cache else "off"
+        fig.add(f"p99 us (poisson, {tag})",
+                [round(v["p99_us"], 2) for v in by_combo[("poisson", cache)]])
+        fig.add(f"shed % (poisson, {tag})",
+                [round(v["shed_pct"], 2)
+                 for v in by_combo[("poisson", cache)]])
+    fig.add("p999 us (poisson, off)",
+            [round(v["p999_us"], 2) for v in by_combo[("poisson", False)]])
+    for proc in PROCESSES:
+        fig.add(f"hit % ({proc}, on)",
+                [round(v["hit_pct"], 2) for v in by_combo[(proc, True)]])
+
+    # -- acceptance checks ---------------------------------------------------
+    off = by_combo[("poisson", False)]
+    on = by_combo[("poisson", True)]
+    delivered_off = [v["delivered_mops"] for v in off]
+    # Knee over measured counts (delivered/offered per point), not the
+    # nominal rate axis: a short-horizon Poisson draw can undershoot the
+    # nominal rate by a few percent, which is not saturation.
+    knee = find_knee([float(v["offered"]) for v in off],
+                     [float(v["delivered"]) for v in off])
+    top = n - 1
+    if knee is not None:
+        plateau = max(delivered_off[knee:]) / delivered_off[knee] - 1.0
+        fig.check(
+            "saturation knee is visible (poisson, cache off)",
+            f"delivered plateaus at {delivered_off[knee]:.2f} MOPS from "
+            f"{rates[knee]:g} MOPS offered (+{100 * plateau:.0f}% over the "
+            f"rest of the sweep) while offered rises to {rates[top]:g}",
+            "delivered flat past the knee; offered keeps climbing")
+    else:
+        fig.check("saturation knee is visible (poisson, cache off)",
+                  "service kept up with the whole sweep — no knee",
+                  "delivered flat past the knee (NOT MET)")
+    fig.check(
+        "tails and shed rate climb past the knee (poisson, cache off)",
+        f"p99 {off[0]['p99_us']:.1f} -> {off[top]['p99_us']:.1f} us, "
+        f"p999 {off[0]['p999_us']:.1f} -> {off[top]['p999_us']:.1f} us, "
+        f"shed {off[0]['shed_pct']:.1f}% -> {off[top]['shed_pct']:.1f}%",
+        f"p99/p999 rise to the {DEADLINE_US:g} us deadline ceiling; "
+        "the offered excess is shed explicitly")
+    gain = (on[top]["delivered_mops"] / off[top]["delivered_mops"]
+            if off[top]["delivered_mops"] else float("inf"))
+    fig.check(
+        f"lease cache absorbs hot keys at zipf {THETA:g} (same offered "
+        "load, saturated point)",
+        f"delivered {off[top]['delivered_mops']:.2f} -> "
+        f"{on[top]['delivered_mops']:.2f} MOPS ({gain:.2f}x), hit rate "
+        f"{on[top]['hit_pct']:.1f}%, shed {off[top]['shed_pct']:.1f}% -> "
+        f"{on[top]['shed_pct']:.1f}%",
+        "hit rate > 0 and higher goodput: hits spend no service slot")
+    fig.notes.append(
+        f"{N_CLIENTS} front doors, zipf theta={THETA:g} over {N_KEYS} keys, "
+        f"{100 * WRITE_FRAC:g}% sticky-routed writes; plane: "
+        f"{SCHEDULER_SLOTS} slots, inflight<={MAX_INFLIGHT}, "
+        f"queue<={MAX_QUEUE_DEPTH}, deadline {DEADLINE_US:g} us; cache: "
+        f"{CACHE_CAPACITY} entries/door, {CACHE_LEASE_US:g} us leases, "
+        "invalidation on write ack.")
+    worst = by_combo[("poisson", True)][top]
+    fig.notes.append(
+        "TenantSLO cache counters at the saturated poisson cache-on "
+        f"point: {worst['cache_hits']} hits / {worst['cache_misses']} "
+        f"misses / {worst['cache_invalidations']} invalidations; "
+        "coherence oracle: the 'cache' checker in make check.")
+    return fig
+
+
+def run(quick: bool = True) -> FigureResult:
+    return assemble([run_point(p, quick) for p in points(quick)], quick)
+
+
+def main(quick: bool = True) -> None:
+    print(run(quick).to_text())
+
+
+if __name__ == "__main__":
+    import sys
+    main(quick="--full" not in sys.argv[1:])

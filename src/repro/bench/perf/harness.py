@@ -133,12 +133,13 @@ SCENARIOS: dict[str, Callable[[], dict]] = {
     "ext7": _figure("repro.bench.ext7_fault_recovery"),
     "ext8": _figure("repro.bench.ext8_txn"),
     "ext9": _figure("repro.bench.ext9_fabric_scale"),
+    "ext10": _figure("repro.bench.ext10_open_loop"),
     "sweep_parallel": _sweep_parallel,
 }
 
 #: The smoke-friendly subset (`make perf-quick`).  sweep_parallel is in
 #: it so the warm-pool speedup floor is asserted on every smoke run.
-QUICK_SCENARIOS = ("engine_dispatch", "fig5", "ext8", "ext9",
+QUICK_SCENARIOS = ("engine_dispatch", "fig5", "ext8", "ext9", "ext10",
                    "sweep_parallel")
 
 

@@ -14,8 +14,9 @@ from __future__ import annotations
 from repro.verbs.qp import QPState
 from repro.verbs.types import CompletionStatus, Opcode
 
-__all__ = ["ConservationChecker", "ConsolidationChecker", "FabricChecker",
-           "OverlapChecker", "QpStateChecker", "TenancyChecker"]
+__all__ = ["CacheChecker", "ConservationChecker", "ConsolidationChecker",
+           "FabricChecker", "OverlapChecker", "QpStateChecker",
+           "TenancyChecker"]
 
 
 class _QpBook:
@@ -336,7 +337,8 @@ class TenancyChecker:
     name = "tenancy"
 
     _SLO_FIELDS = ("ops", "bytes", "errored", "rejected", "retries",
-                   "txn_commits", "txn_aborts")
+                   "txn_commits", "txn_aborts", "cache_hits",
+                   "cache_misses", "cache_invalidations")
 
     def __init__(self, san):
         self.san = san
@@ -362,6 +364,69 @@ class TenancyChecker:
                         f"SLO counter {field!r} went backwards: "
                         f"{old} -> {new}")
         self._slo_snap[tenant] = snap
+
+
+class CacheChecker:
+    """Lease-cache coherence: no cached read older than the last acked write.
+
+    The serving tier's front cache (:mod:`repro.load`) promises exactly
+    one thing — a hit (or a fill, which seeds future hits) never serves a
+    value older than the newest *acknowledged* write for that key.  The
+    checker shadows the acknowledgement frontier per key:
+
+    * ``on_cache_invalidate(key, version)`` fires once per acked write
+      (when the invalidation directory fans out); the frontier for the
+      key rises to ``version`` and must never move backwards — with
+      writes sticky-routed to a single owner session on one RC QP, acks
+      are issue-ordered, so a regression means versions were minted or
+      acknowledged out of order.
+    * ``on_cache_fill`` / ``on_cache_hit`` compare the entry's version
+      against the frontier.  A stale fill means the write path applied
+      remotely *after* acking (or the read raced the directory); a stale
+      hit means an invalidation missed a registered cache.
+
+    Unacked writes (shed, errored, ack lost in flight) never raise the
+    frontier, so reads observing their residue — same version or newer —
+    are coherent by definition.  Pure observation, schedule-neutral.
+    """
+
+    name = "cache"
+
+    def __init__(self, san):
+        self.san = san
+        #: key -> newest acknowledged version (the coherence frontier).
+        self._acked: dict[int, int] = {}
+        self.fills_seen = 0
+        self.hits_seen = 0
+        self.invalidations_seen = 0
+
+    def on_invalidate(self, key: int, version: int) -> None:
+        self.invalidations_seen += 1
+        prev = self._acked.get(key, 0)
+        if version < prev:
+            self.san.record(
+                self.name, f"key={key}", "invalidate",
+                f"acked-write frontier went backwards: {prev} -> {version} "
+                "(writes acked out of issue order?)")
+            return
+        self._acked[key] = version
+
+    def on_fill(self, cache, key: int, version: int) -> None:
+        self.fills_seen += 1
+        self._check(cache, key, version, "fill")
+
+    def on_hit(self, cache, key: int, version: int) -> None:
+        self.hits_seen += 1
+        self._check(cache, key, version, "hit")
+
+    def _check(self, cache, key: int, version: int, stage: str) -> None:
+        floor = self._acked.get(key, 0)
+        if version < floor:
+            self.san.record(
+                self.name, f"cache={getattr(cache, 'name', cache)} key={key}",
+                stage,
+                f"cached read returned version {version} older than the "
+                f"last acknowledged write (version {floor})")
 
 
 class FabricChecker:

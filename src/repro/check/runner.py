@@ -23,6 +23,11 @@ register claims), run to completion, drained, and finalized:
 * ``fabric`` — cross-rack traffic on a leaf-spine fabric while a spine
   link dies and another degrades: ECMP re-salting + retransmission
   route around the faults under the per-link conservation checker.
+* ``serving`` — the open-loop serving tier (bursty arrivals, lease
+  front caches, sticky-routed writes) under seeded loss windows with a
+  small retry budget: the ``cache`` coherence oracle judges every fill,
+  hit, and invalidation while front doors shed, error, and reconnect.
+  Strict overlap stays off — KV entries are last-writer-wins.
 
 Exit status 0 iff every scenario reports zero violations (the CI
 contract: ``make check``).
@@ -323,6 +328,105 @@ def _scenario_fabric() -> Sanitizer:
     return san
 
 
+def _scenario_serving() -> Sanitizer:
+    """Open-loop serving tier + lease caches under loss chaos.
+
+    Three front doors drive bursty open-loop load (zipf 0.99, 10%
+    sticky-routed writes) through the tenancy plane while staggered loss
+    windows hammer every client port with a small retry budget — so
+    requests shed, error, and force QP drain/reconnect mid-burst.  The
+    ``cache`` checker audits the coherence contract the lease caches
+    rely on: no fill or hit may serve a value older than the per-key
+    acknowledged-write frontier, loss or no loss.
+    """
+    from repro.apps.hashtable.backend import HashTableBackend
+    from repro.apps.hashtable.layout import TableLayout
+    from repro.hw import FaultInjector, HardwareParams
+    from repro.hw.params import ServiceConfig, TenantSpec
+    from repro.load import (
+        InvalidationDirectory,
+        KvFrontDoor,
+        LeaseCache,
+        OpenLoopGenerator,
+        drain_open_loop,
+        preload_table,
+        sticky_owner_key,
+    )
+    from repro.sim import make_rng, spawn_rngs
+    from repro.tenancy import ServicePlane
+    from repro.workloads import ZipfGenerator, make_arrivals
+
+    n_clients, n_keys, horizon = 3, 512, 600_000.0
+    # Small retry budget: loss windows exhaust retries and force the
+    # pooled QPs through error -> flush -> reconnect between requests.
+    sim, cluster, ctx = build(machines=n_clients + 1,
+                              params=HardwareParams(retry_cnt=2))
+    san = Sanitizer(sim)          # KV entries are last-writer-wins per
+    plane = ServicePlane(ctx, ServiceConfig(       # version: strict off
+        tenants=(TenantSpec("web", max_inflight=96, max_queue_depth=64,
+                            deadline_ns=40_000.0),),
+        scheduler_slots=8))
+    layout = TableLayout(n_keys=n_keys, hot_keys=0,
+                         sockets=ctx.params.sockets_per_machine)
+    backend = HashTableBackend(ctx, 0, layout)
+    directory = InvalidationDirectory(sim)
+    preload_table(backend, directory)
+    injector = FaultInjector(sim, rng=make_rng(1234))
+    rngs = spawn_rngs(2468, 2 * n_clients)
+
+    doors, gens = [], []
+    for i in range(n_clients):
+        cache = LeaseCache(sim, capacity=64, lease_ns=80_000.0,
+                           name=f"front{i}")
+        door = KvFrontDoor(plane, backend, "web", machine=1 + i,
+                           cache=cache, directory=directory)
+        doors.append(door)
+        times = make_arrivals("bursty", 1.0).arrival_times(
+            horizon, rngs[2 * i])
+        zipf = ZipfGenerator(n_keys, 0.99, rngs[2 * i + 1])
+        keys = zipf.sample(max(1, len(times)))
+        writes = rngs[2 * i + 1].random(max(1, len(times))) < 0.1
+
+        def request_fn(j, door=door, keys=keys, writes=writes, owner=i):
+            key = int(keys[j])
+            if writes[j]:
+                return door.put(
+                    sticky_owner_key(key, owner, n_clients, n_keys), b"w")
+            return door.get(key)
+
+        gens.append(OpenLoopGenerator(sim, request_fn, times,
+                                      name=f"check.serve{i}"))
+
+    # Staggered loss windows on every client port (the chaos idiom).
+    for i in range(n_clients):
+        port = cluster[i + 1].port(0)
+        for k in range(3):
+            at = 30_000.0 + 150_000.0 * i + 180_000.0 * k
+            sim.timeout(at).add_callback(
+                lambda _e, p=port: injector.drop_port(
+                    p, prob=0.9, duration_ns=120_000.0))
+
+    for g in gens:
+        g.start()
+    drain_open_loop(gens)
+    sim.run()                     # drain trailing invalidation callbacks
+
+    if not any(d.reconnects for d in doors) \
+            and not any(g.errors for g in gens):
+        raise AssertionError("serving chaos injected no transport errors; "
+                             "the fault schedule has gone stale")
+    if not any(g.delivered for g in gens):
+        raise AssertionError("no request was ever served under chaos")
+    if san.cache is None or not san.cache.fills_seen \
+            or not san.cache.hits_seen:
+        raise AssertionError("the cache oracle saw no fills/hits; the "
+                             "lease caches were never exercised")
+    if not san.cache.invalidations_seen:
+        raise AssertionError("no write ack invalidated a cache; the "
+                             "coherence path was never exercised")
+    return san
+
+
 SCENARIOS = {
     "hashtable": _scenario_hashtable,
     "shuffle": _scenario_shuffle,
@@ -331,6 +435,7 @@ SCENARIOS = {
     "chaos": _scenario_chaos,
     "txn": _scenario_txn,
     "fabric": _scenario_fabric,
+    "serving": _scenario_serving,
 }
 
 

@@ -26,6 +26,7 @@ from __future__ import annotations
 from typing import Iterable, Optional
 
 from repro.check.checkers import (
+    CacheChecker,
     ConservationChecker,
     ConsolidationChecker,
     FabricChecker,
@@ -40,7 +41,8 @@ __all__ = ["CHECKER_NAMES", "Sanitizer"]
 
 #: Every pluggable checker, in report order.
 CHECKER_NAMES = ("conservation", "qp_state", "overlap", "locks",
-                 "sequencer", "consolidation", "tenancy", "txn", "fabric")
+                 "sequencer", "consolidation", "tenancy", "txn", "fabric",
+                 "cache")
 
 
 class Sanitizer:
@@ -86,6 +88,7 @@ class Sanitizer:
         self.tenancy = TenancyChecker(self) if "tenancy" in names else None
         self.txn = TxnOracle(self) if "txn" in names else None
         self.fabric = FabricChecker(self) if "fabric" in names else None
+        self.cache = CacheChecker(self) if "cache" in names else None
         self.sweep_every = sweep_every
         self._tick = 0
         self.events_seen = 0
@@ -234,6 +237,22 @@ class Sanitizer:
         """
         if self.fabric is not None:
             self.fabric.on_hop(link, packets, outcome)
+
+    # -- serving-tier cache hooks --------------------------------------------
+    def on_cache_fill(self, cache, key: int, version: int) -> None:
+        """A remote read populated a front-cache entry."""
+        if self.cache is not None:
+            self.cache.on_fill(cache, key, version)
+
+    def on_cache_hit(self, cache, key: int, version: int) -> None:
+        """A read was served from a front cache without touching the wire."""
+        if self.cache is not None:
+            self.cache.on_hit(cache, key, version)
+
+    def on_cache_invalidate(self, key: int, version: int) -> None:
+        """A write was acknowledged; the invalidation directory fanned out."""
+        if self.cache is not None:
+            self.cache.on_invalidate(key, version)
 
     # -- tenancy hooks -----------------------------------------------------------
     def on_bucket_consume(self, tenant: str, bucket) -> None:

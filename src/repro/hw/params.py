@@ -337,6 +337,14 @@ class TenantSpec:
     #: rejected at dispatch time instead of occupying the RNIC.
     deadline_ns: Optional[float] = None
 
+    def __post_init__(self) -> None:
+        # Per-field validation at construction: specs built directly (not
+        # via ServiceConfig.validate()) otherwise reach the dispatcher and
+        # crash later, e.g. rate_mops=0.0 -> ZeroDivisionError in
+        # _TokenBucket.eligible_at.  Cross-tenant checks stay in
+        # ServiceConfig.validate().
+        self.validate()
+
     def validate(self) -> None:
         if not self.name:
             raise ValueError("tenant needs a non-empty name")

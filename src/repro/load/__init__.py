@@ -1,0 +1,47 @@
+"""The serving tier: open-loop load against the tenancy plane.
+
+The paper's benches (and every ``repro.bench`` sweep before this
+package) are closed-loop: clients post the next op when the previous one
+completes, so the measured rate *is* the service rate and saturation is
+invisible.  A datacenter front door faces offered load it does not
+control (RDMAvisor's shared-service framing); this package supplies the
+three pieces that measurement needs:
+
+* :mod:`repro.workloads.arrivals` (sibling) — Poisson, bursty
+  (Markov-modulated), and diurnal-trace arrival timelines;
+* :class:`OpenLoopGenerator` — injects requests on the arrival clock,
+  tallying delivered/shed/errored outcomes and arrival-to-completion
+  latency;
+* :class:`KvFrontDoor` — the per-client-machine KV entry point: GET/PUT
+  as single one-sided ops through the full tenancy plane, with an
+  optional :class:`LeaseCache` + :class:`InvalidationDirectory`
+  absorbing hot-key reads client-side (hit/miss/invalidate counters
+  surface in :class:`~repro.tenancy.metrics.TenantSLO`).
+
+Coherence is checkable: the ``cache`` checker (:mod:`repro.check`)
+asserts no cached read ever returns a value older than the last
+acknowledged write.  Experiment: ``python -m repro.bench ext10_open_loop``.
+"""
+
+from repro.load.cache import InvalidationDirectory, LeaseCache
+from repro.load.frontdoor import (
+    SERVE_CPU_NS,
+    KvFrontDoor,
+    KvResult,
+    preload_table,
+    sticky_owner_key,
+)
+from repro.load.openloop import OpenLoopGenerator, drain_open_loop, find_knee
+
+__all__ = [
+    "InvalidationDirectory",
+    "KvFrontDoor",
+    "KvResult",
+    "LeaseCache",
+    "OpenLoopGenerator",
+    "SERVE_CPU_NS",
+    "drain_open_loop",
+    "find_knee",
+    "preload_table",
+    "sticky_owner_key",
+]

@@ -1,0 +1,154 @@
+"""Client-side lease cache + write-ack invalidation directory.
+
+RDMAbox's memory-intensive-workload argument, applied to the serving
+tier: at zipf 0.99 a handful of keys draw most reads, and re-fetching
+them over the wire burns RNIC service slots the saturated plane needs
+for the long tail.  A :class:`LeaseCache` absorbs those reads client
+side; the :class:`InvalidationDirectory` keeps it honest by dropping
+cached entries the moment a write is *acknowledged*.
+
+Coherence contract (enforced by the ``cache`` checker in
+:mod:`repro.check`): a hit never returns a value older than the last
+acknowledged write for that key.  Two mechanisms make this sound:
+
+* **leases** — every entry expires ``lease_ns`` after its fill, so even
+  a cache the directory has forgotten cannot serve stale data forever;
+* **invalidation-on-write** — the writing front door calls
+  :meth:`InvalidationDirectory.ack_write` when (and only when) the
+  remote WRITE completes successfully; the directory then drops the key
+  from every registered cache.  Unacked writes (shed at admission,
+  errored in transport) never invalidate — their residue, if any, is a
+  version at least as new as the frontier, which is coherent.
+
+Versions are minted at issue time (:meth:`InvalidationDirectory.
+next_version`) and writes are sticky-routed: one owner front door per
+key, writes owner-serialized, so version order equals wire order on one
+RC queue pair and acknowledgements arrive monotonically per key.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.sim import Simulator
+
+__all__ = ["InvalidationDirectory", "LeaseCache"]
+
+
+class LeaseCache:
+    """Bounded LRU of ``key -> (version, value)`` with per-entry leases."""
+
+    def __init__(self, sim: Simulator, capacity: int = 128,
+                 lease_ns: float = 50_000.0, name: str = "cache"):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if lease_ns <= 0:
+            raise ValueError(f"lease_ns must be > 0, got {lease_ns}")
+        self.sim = sim
+        self.capacity = capacity
+        self.lease_ns = lease_ns
+        self.name = name
+        #: key -> (version, value, lease expiry ns); insertion order = LRU.
+        self._entries: OrderedDict[int, tuple[int, bytes, float]] = \
+            OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.fills = 0
+        self.expirations = 0
+        self.invalidations = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: int) -> tuple[int, bytes] | None:
+        """(version, value) while the lease holds, else None."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        version, value, expires = entry
+        if self.sim.now >= expires:
+            # Lease lapsed: the entry may be arbitrarily stale (e.g. its
+            # writer's invalidation raced a partition) — drop, go remote.
+            del self._entries[key]
+            self.expirations += 1
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        check = self.sim.check
+        if check is not None:
+            check.on_cache_hit(self, key, version)
+        return version, value
+
+    def put(self, key: int, version: int, value: bytes) -> None:
+        """Fill (or refresh) an entry; evicts the LRU entry at capacity."""
+        if key not in self._entries and len(self._entries) >= self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        self._entries[key] = (version, value, self.sim.now + self.lease_ns)
+        self._entries.move_to_end(key)
+        self.fills += 1
+        check = self.sim.check
+        if check is not None:
+            check.on_cache_fill(self, key, version)
+
+    def invalidate(self, key: int) -> bool:
+        """Drop ``key`` (a write was acked); True if an entry existed."""
+        if key in self._entries:
+            del self._entries[key]
+            self.invalidations += 1
+            return True
+        return False
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class InvalidationDirectory:
+    """Mints per-key versions at issue; fans out invalidations at ack."""
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self._caches: list[LeaseCache] = []
+        #: key -> newest version minted (issue order, not ack order).
+        self._versions: dict[int, int] = {}
+        #: key -> newest version acknowledged (the coherence frontier).
+        self.acked: dict[int, int] = {}
+        self.writes_acked = 0
+        self.invalidations_sent = 0
+
+    def register(self, cache: LeaseCache) -> None:
+        self._caches.append(cache)
+
+    def seed(self, key: int, version: int) -> None:
+        """Record a preloaded entry (table populated out of band) so the
+        next minted version continues past it.  No invalidation fan-out:
+        nothing can have cached the key yet."""
+        if version > self._versions.get(key, 0):
+            self._versions[key] = version
+
+    def next_version(self, key: int) -> int:
+        """The version for a write being issued now (monotone per key)."""
+        version = self._versions.get(key, 0) + 1
+        self._versions[key] = version
+        return version
+
+    def ack_write(self, key: int, version: int) -> int:
+        """A write completed successfully: advance the frontier, drop the
+        key from every registered cache.  Returns entries dropped."""
+        check = self.sim.check
+        if check is not None:
+            check.on_cache_invalidate(key, version)
+        if version > self.acked.get(key, 0):
+            self.acked[key] = version
+        self.writes_acked += 1
+        dropped = 0
+        for cache in self._caches:
+            if cache.invalidate(key):
+                dropped += 1
+        self.invalidations_sent += dropped
+        return dropped

@@ -53,7 +53,17 @@ class ConnectionManager:
 
     # -- queries ------------------------------------------------------------
     def live_qps(self, tenant: str) -> int:
+        self._prune_destroyed()
         return sum(1 for e in self._pool.values() if e.tenant == tenant)
+
+    def _prune_destroyed(self) -> None:
+        """Forget QPs destroyed behind the pool's back (``ctx.destroy_qp``
+        on a pooled QP).  They hold no on-NIC state, so they must not count
+        against the cap, be picked as LRU victims, or tally as evictions."""
+        dead = [e for e in self._pool.values() if e.qp.destroyed]
+        for e in dead:
+            del self._pool[e.key]
+            del self._by_qp[e.qp.qp_id]
 
     # -- leasing ------------------------------------------------------------
     def lease(self, tenant: str, local: int, remote: int,
@@ -62,13 +72,9 @@ class ConnectionManager:
         evicting the tenant's LRU idle QP if at the cap — or reuses the
         pooled one.  Balance every lease with :meth:`release`."""
         self._config.tenant(tenant)   # raises KeyError if unknown
+        self._prune_destroyed()
         key = (tenant, local, remote, tuple(sorted(create_kwargs.items())))
         entry = self._pool.get(key)
-        if entry is not None and entry.qp.destroyed:
-            # Destroyed behind the pool's back (ctx.destroy_qp on a pooled
-            # QP); drop the stale handle and fall through to a fresh one.
-            self._drop(entry)
-            entry = None
         if entry is not None:
             entry.leases += 1
             entry.last_used = self.sim.now
@@ -98,6 +104,7 @@ class ConnectionManager:
 
     # -- eviction -----------------------------------------------------------
     def _evict_lru_idle(self, tenant: str) -> None:
+        self._prune_destroyed()
         candidates = [e for e in self._pool.values()
                       if e.tenant == tenant and e.leases == 0
                       and not e.qp.outstanding]
@@ -113,6 +120,7 @@ class ConnectionManager:
     def evict_idle(self, older_than_ns: Optional[float] = None) -> int:
         """Tear down idle QPs (optionally only those idle for at least
         ``older_than_ns``); returns the number evicted."""
+        self._prune_destroyed()
         now = self.sim.now
         victims = [e for e in self._pool.values()
                    if e.leases == 0 and not e.qp.outstanding

@@ -22,7 +22,8 @@ class TenantSLO:
 
     __slots__ = ("ops", "bytes", "latencies", "rejects", "by_opcode",
                  "first_ns", "last_ns", "retries", "errors",
-                 "txn_commits", "txn_aborts", "commit_latencies")
+                 "txn_commits", "txn_aborts", "commit_latencies",
+                 "cache_hits", "cache_misses", "cache_invalidations")
 
     def __init__(self):
         self.ops = 0
@@ -46,6 +47,12 @@ class TenantSLO:
         #: "wr_flushed", ...); rejects are tracked separately because
         #: admission drops never reached the hardware.
         self.errors: Counter = Counter()
+        #: Serving-tier front cache (``repro.load``): reads absorbed
+        #: client-side (hits never touch the wire or the plane), reads
+        #: that went remote, and entries dropped by write invalidations.
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.cache_invalidations = 0
 
     @property
     def rejected(self) -> int:
@@ -70,6 +77,11 @@ class TenantSLO:
         """Completed bytes per ns (== GB/s) over the tenant's active span."""
         span = self.last_ns - self.first_ns
         return self.bytes / span if span > 0 else 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
 
     @property
     def txn_abort_rate(self) -> float:
@@ -146,6 +158,22 @@ class SLOMetrics:
         if check is not None:
             check.on_slo_record(tenant, slo)
 
+    def record_cache(self, tenant: str, event: str) -> None:
+        """Fold one front-cache event ("hit" | "miss" | "invalidate")
+        into the tenant's ledger (see :mod:`repro.load`)."""
+        slo = self.tenants[tenant]
+        if event == "hit":
+            slo.cache_hits += 1
+        elif event == "miss":
+            slo.cache_misses += 1
+        elif event == "invalidate":
+            slo.cache_invalidations += 1
+        else:
+            raise ValueError(f"unknown cache event {event!r}")
+        check = self.sim.check
+        if check is not None:
+            check.on_slo_record(tenant, slo)
+
     def record_reject(self, tenant: str, reason: str) -> None:
         slo = self.tenants[tenant]
         slo.rejects[reason] += 1
@@ -173,6 +201,10 @@ class SLOMetrics:
                 "errored": slo.errored,
                 "error_rate": slo.error_rate,
                 "errors_by_status": dict(slo.errors),
+                "cache_hits": slo.cache_hits,
+                "cache_misses": slo.cache_misses,
+                "cache_invalidations": slo.cache_invalidations,
+                "cache_hit_rate": slo.cache_hit_rate,
                 "txn_commits": slo.txn_commits,
                 "txn_aborts": slo.txn_aborts,
                 "txn_abort_rate": slo.txn_abort_rate,

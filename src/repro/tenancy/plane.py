@@ -31,7 +31,7 @@ from repro.tenancy.admission import REJECT_DEADLINE, AdmissionController
 from repro.tenancy.connections import ConnectionManager
 from repro.tenancy.metrics import SLOMetrics
 from repro.tenancy.qos import SERVICE_UNIT_BYTES, QoSScheduler
-from repro.verbs.qp import QueuePair
+from repro.verbs.qp import QPState, QueuePair
 from repro.verbs.types import Completion, CompletionStatus, Opcode, Sge, WorkRequest
 from repro.verbs.verbs import RdmaContext, Worker
 
@@ -93,6 +93,15 @@ class ServicePlane:
         ev.succeed(self._rejected_completion(wr))
         return ev
 
+    def _flushed_completion(self, wr: WorkRequest) -> Completion:
+        # An op granted a slot while its pooled QP is mid-reconnect
+        # (RESET): posting would be a verbs usage error, so the plane
+        # fails it the way an ERR-state QP would have — the tenant sees
+        # a transport error, not a crashed dispatcher.
+        return Completion(wr_id=wr.wr_id, opcode=wr.opcode,
+                          status=CompletionStatus.WR_FLUSH_ERR,
+                          timestamp_ns=self.sim.now, byte_len=0)
+
     def submit(self, qp: QueuePair, wr: WorkRequest) -> Event:
         """Queue one op; returns its completion event (which may already
         carry a REJECTED completion)."""
@@ -144,6 +153,11 @@ class ServicePlane:
             self.metrics.record_reject(tenant, REJECT_DEADLINE)
             done.succeed(self._rejected_completion(wr))
             return
+        if qp.state is QPState.RESET:
+            self.qos.done(tenant)
+            self._finish_op(tenant, wr, t0, self._flushed_completion(wr),
+                            done)
+            return
         comp = yield qp.post_send(wr)
         self.qos.done(tenant)
         self._finish_op(tenant, wr, t0, comp, done)
@@ -158,6 +172,11 @@ class ServicePlane:
             for w, d in zip(wrs, dones):
                 self.metrics.record_reject(tenant, REJECT_DEADLINE)
                 d.succeed(self._rejected_completion(w))
+            return
+        if qp.state is QPState.RESET:
+            for w, d in zip(wrs, dones):
+                self._finish_op(tenant, w, t0, self._flushed_completion(w), d)
+            self.qos.done(tenant)
             return
         events = qp.post_send_batch(wrs)
         for w, ev, d in zip(wrs, events, dones):

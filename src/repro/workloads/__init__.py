@@ -1,14 +1,28 @@
-"""Workload generators for the four case studies."""
+"""Workload generators: the four case studies plus open-loop arrivals."""
 
+from repro.workloads.arrivals import (
+    DIURNAL_SHAPE,
+    ArrivalProcess,
+    DiurnalTrace,
+    MarkovOnOffProcess,
+    PoissonProcess,
+    make_arrivals,
+)
 from repro.workloads.zipf import ZipfGenerator
 from repro.workloads.ycsb import Op, OpKind, YcsbWorkload
 from repro.workloads.tables import Relation, generate_relation
 from repro.workloads.stream import KvStream, partition_by_hash
 
 __all__ = [
+    "ArrivalProcess",
+    "DIURNAL_SHAPE",
+    "DiurnalTrace",
     "KvStream",
+    "MarkovOnOffProcess",
     "Op",
     "OpKind",
+    "PoissonProcess",
+    "make_arrivals",
     "Relation",
     "YcsbWorkload",
     "ZipfGenerator",

@@ -1,0 +1,175 @@
+"""Open-loop arrival processes: *offered* load, not completion-gated.
+
+Every bench before the serving tier was closed-loop — a client posts the
+next WR only after the previous one completes, so the injection rate
+self-throttles to whatever the service sustains and the saturation knee
+is invisible.  Real front doors (RDMAvisor's shared-service argument)
+face the opposite contract: requests arrive on the service's schedule,
+not the tenant's, and the plane must admit, queue, or shed them.
+
+The generators here draw complete arrival timelines up front (one
+vectorized pass over a seeded PCG64 stream) so a load point is a pure
+function of ``(process, rate, horizon, seed)``:
+
+* :class:`PoissonProcess` — memoryless arrivals at a constant rate, the
+  M/G/k baseline every queueing result quotes.
+* :class:`MarkovOnOffProcess` — bursty, Markov-modulated arrivals: ON
+  periods inject at ``burst_factor`` × the mean rate, OFF periods are
+  silent, with exponentially distributed dwell times.  Mean rate over a
+  long window matches ``rate_mops`` so burstiness is an apples-to-apples
+  overlay on Poisson.
+* :class:`DiurnalTrace` — trace replay: a normalized intensity curve
+  (the bundled :data:`DIURNAL_SHAPE` is a two-peak day compressed into
+  the horizon) scales a Poisson process, so offered load sweeps the
+  curve inside a single run.
+
+All times are simulated nanoseconds; rates are MOPS (ops/us), matching
+:mod:`repro.hw.params`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ArrivalProcess", "DIURNAL_SHAPE", "DiurnalTrace",
+           "MarkovOnOffProcess", "PoissonProcess", "make_arrivals"]
+
+#: Normalized two-peak diurnal intensity curve (morning and evening
+#: peaks over a trough), mean 1.0 — multiply by a target rate to replay
+#: a "day" compressed into a bench horizon.
+DIURNAL_SHAPE: tuple[float, ...] = (
+    0.35, 0.30, 0.30, 0.40, 0.65, 1.10, 1.55, 1.75,
+    1.60, 1.30, 1.10, 1.00, 1.05, 1.25, 1.60, 1.90,
+    1.80, 1.45, 1.05, 0.75, 0.55, 0.45, 0.40, 0.35,
+)
+
+
+class ArrivalProcess:
+    """Base class: an offered-load timeline over ``[0, horizon_ns)``."""
+
+    #: Short identifier used in bench tables ("poisson", "bursty", ...).
+    kind = "abstract"
+
+    def __init__(self, rate_mops: float):
+        if rate_mops <= 0:
+            raise ValueError(f"rate_mops must be > 0, got {rate_mops}")
+        self.rate_mops = rate_mops
+        #: Mean arrival rate in ops/ns (1 MOPS == 1e-3 ops/ns).
+        self.rate_per_ns = rate_mops * 1e-3
+
+    def arrival_times(self, horizon_ns: float,
+                      rng: np.random.Generator) -> np.ndarray:
+        """Sorted absolute arrival times (ns) in ``[0, horizon_ns)``."""
+        raise NotImplementedError
+
+    def _poisson_times(self, horizon_ns: float, rate_per_ns: float,
+                       rng: np.random.Generator) -> np.ndarray:
+        """Vectorized homogeneous Poisson draw: cumulative exponential
+        gaps, over-drawn ~4 sigma then clipped to the horizon."""
+        if horizon_ns <= 0:
+            raise ValueError(f"horizon_ns must be > 0, got {horizon_ns}")
+        mean = horizon_ns * rate_per_ns
+        n = max(16, int(mean + 4.0 * np.sqrt(mean) + 16))
+        times = np.cumsum(rng.exponential(1.0 / rate_per_ns, size=n))
+        while times[-1] < horizon_ns:       # astronomically rare top-up
+            more = np.cumsum(rng.exponential(1.0 / rate_per_ns, size=n))
+            times = np.concatenate([times, times[-1] + more])
+        return times[times < horizon_ns]
+
+
+class PoissonProcess(ArrivalProcess):
+    """Memoryless arrivals at a constant ``rate_mops``."""
+
+    kind = "poisson"
+
+    def arrival_times(self, horizon_ns: float,
+                      rng: np.random.Generator) -> np.ndarray:
+        return self._poisson_times(horizon_ns, self.rate_per_ns, rng)
+
+
+class MarkovOnOffProcess(ArrivalProcess):
+    """Two-state Markov-modulated Poisson process (bursty arrivals).
+
+    ON dwell ~ Exp(mean ``on_ns``), OFF dwell ~ Exp(mean ``off_ns``).
+    During ON the instantaneous rate is ``burst_factor`` × mean so the
+    long-run average equals ``rate_mops`` when
+    ``burst_factor == (on_ns + off_ns) / on_ns``.
+    """
+
+    kind = "bursty"
+
+    def __init__(self, rate_mops: float, on_ns: float = 20_000.0,
+                 off_ns: float = 40_000.0):
+        super().__init__(rate_mops)
+        if on_ns <= 0 or off_ns <= 0:
+            raise ValueError("on_ns and off_ns must be > 0")
+        self.on_ns = on_ns
+        self.off_ns = off_ns
+        self.burst_factor = (on_ns + off_ns) / on_ns
+
+    def arrival_times(self, horizon_ns: float,
+                      rng: np.random.Generator) -> np.ndarray:
+        if horizon_ns <= 0:
+            raise ValueError(f"horizon_ns must be > 0, got {horizon_ns}")
+        on_rate = self.rate_per_ns * self.burst_factor
+        chunks: list[np.ndarray] = []
+        t, on = 0.0, True                   # start in a burst
+        while t < horizon_ns:
+            dwell = rng.exponential(self.on_ns if on else self.off_ns)
+            if on:
+                seg = self._poisson_times(dwell, on_rate, rng)
+                chunks.append(t + seg)
+            t += dwell
+            on = not on
+        times = np.concatenate(chunks) if chunks else np.empty(0)
+        return times[times < horizon_ns]
+
+
+class DiurnalTrace(ArrivalProcess):
+    """Replay a normalized intensity trace as a piecewise Poisson process.
+
+    ``shape`` is a sequence of relative intensities (mean need not be 1;
+    it is renormalized) stretched uniformly over the horizon, so the
+    bench's "day" — peaks, trough, and all — fits one measurement window
+    while the average offered rate stays ``rate_mops``.
+    """
+
+    kind = "diurnal"
+
+    def __init__(self, rate_mops: float,
+                 shape: tuple[float, ...] = DIURNAL_SHAPE):
+        super().__init__(rate_mops)
+        arr = np.asarray(shape, dtype=np.float64)
+        if arr.ndim != 1 or len(arr) < 2:
+            raise ValueError("shape needs at least two intensity buckets")
+        if np.any(arr < 0) or arr.sum() <= 0:
+            raise ValueError("shape intensities must be >= 0, not all zero")
+        self.shape = arr / arr.mean()
+
+    def arrival_times(self, horizon_ns: float,
+                      rng: np.random.Generator) -> np.ndarray:
+        if horizon_ns <= 0:
+            raise ValueError(f"horizon_ns must be > 0, got {horizon_ns}")
+        bucket_ns = horizon_ns / len(self.shape)
+        chunks = []
+        for i, intensity in enumerate(self.shape):
+            if intensity <= 0:
+                continue
+            seg = self._poisson_times(bucket_ns,
+                                      self.rate_per_ns * intensity, rng)
+            chunks.append(i * bucket_ns + seg)
+        times = np.concatenate(chunks) if chunks else np.empty(0)
+        return times[times < horizon_ns]
+
+
+def make_arrivals(kind: str, rate_mops: float) -> ArrivalProcess:
+    """Factory over the three bundled processes ("poisson" | "bursty" |
+    "diurnal") with their default burst/trace parameters."""
+    if kind == "poisson":
+        return PoissonProcess(rate_mops)
+    if kind == "bursty":
+        return MarkovOnOffProcess(rate_mops)
+    if kind == "diurnal":
+        return DiurnalTrace(rate_mops)
+    raise ValueError(f"unknown arrival process {kind!r} "
+                     "(expected poisson | bursty | diurnal)")

@@ -45,6 +45,19 @@ def test_tenant_spec_validation():
     TenantSpec("t", weight=2.5, rate_mops=1.0, deadline_ns=1e4).validate()
 
 
+def test_tenant_spec_validates_at_construction():
+    # Regression: TenantSpec(rate_mops=0.0) used to construct fine and
+    # only blow up much later as a ZeroDivisionError inside
+    # _TokenBucket.eligible_at; __post_init__ now front-loads validate().
+    with pytest.raises(ValueError):
+        TenantSpec("t", rate_mops=0.0)
+    with pytest.raises(ValueError):
+        TenantSpec("")
+    with pytest.raises(ValueError):
+        TenantSpec("t", max_queue_depth=0)
+    TenantSpec("t", rate_mops=0.5)                # valid spec constructs
+
+
 def test_service_config_validation():
     with pytest.raises(ValueError):
         ServiceConfig(tenants=()).validate()
@@ -129,6 +142,42 @@ def test_pool_replaces_qp_destroyed_behind_its_back():
     assert cm.created["a"] == 2 and cm.reused["a"] == 0
 
 
+def test_live_qps_ignores_qps_destroyed_behind_the_pools_back():
+    # Regression: the pool used to keep counting destroyed QPs toward the
+    # cap, so phantom connections could evict a healthy pooled QP.
+    sim, cluster, ctx, plane = make_plane(
+        machines=5, qp_cap_per_tenant=2, tenants=(TenantSpec("a"),))
+    cm = plane.connections
+    q1 = cm.lease("a", 0, 1)
+    cm.release(q1)
+    q2 = cm.lease("a", 0, 2)
+    cm.release(q2)
+    ctx.destroy_qp(q1)            # rogue: not via the pool
+    assert cm.live_qps("a") == 1
+    # Apparently at the cap — but the destroyed entry freed a slot, so
+    # leasing a third remote must neither evict q2 nor tally an eviction.
+    q3 = cm.lease("a", 0, 3)
+    assert not q2.destroyed and not q3.destroyed
+    assert cm.evicted["a"] == 0
+    assert cm.live_qps("a") == 2
+    cm.release(q3)
+
+
+def test_destroyed_leased_qp_does_not_wedge_the_cap():
+    # Regression: with every pooled QP leased and one of them destroyed
+    # behind the pool's back, a new lease raised "cap reached and every
+    # pooled QP is leased" — the dead connection held a phantom slot.
+    sim, cluster, ctx, plane = make_plane(
+        machines=5, qp_cap_per_tenant=2, tenants=(TenantSpec("a"),))
+    cm = plane.connections
+    ctx.destroy_qp(cm.lease("a", 0, 1))
+    q2 = cm.lease("a", 0, 2)
+    q3 = cm.lease("a", 0, 3)      # no spurious RuntimeError
+    assert not q3.destroyed and cm.live_qps("a") == 2
+    cm.release(q2)
+    cm.release(q3)
+
+
 def test_evict_idle_by_age():
     sim, cluster, ctx, plane = make_plane(
         machines=5, qp_cap_per_tenant=8, tenants=(TenantSpec("a"),))
@@ -137,6 +186,19 @@ def test_evict_idle_by_age():
         cm.release(cm.lease("a", 0, remote))
     assert cm.evict_idle(older_than_ns=1.0) == 0   # nothing old enough yet
     assert cm.evict_idle() == 3
+    assert cm.live_qps("a") == 0
+
+
+def test_evict_idle_exact_age_boundary():
+    # The age filter is inclusive: a QP idle for exactly older_than_ns
+    # is evictable (now - last_used >= bound, not >).
+    sim, cluster, ctx, plane = make_plane(
+        machines=3, qp_cap_per_tenant=8, tenants=(TenantSpec("a"),))
+    cm = plane.connections
+    cm.release(cm.lease("a", 0, 1))                # last_used = 0
+    sim.run(until=sim.timeout(100.0))
+    assert cm.evict_idle(older_than_ns=100.5) == 0  # just under the age
+    assert cm.evict_idle(older_than_ns=100.0) == 1  # exactly at the age
     assert cm.live_qps("a") == 0
 
 
@@ -351,6 +413,30 @@ def test_batch_admission_is_atomic():
         comp = sim.run(until=ev)
         assert comp.ok
     assert plane.metrics["t"].ops == 2
+
+
+def test_deadline_shed_batch_releases_every_slot():
+    # The batch shed branch must reject all n WRs with the deadline
+    # reason and release all n admission slots at once; a partial
+    # release would leak window slots and surface as inflight rejects
+    # in later rounds.  max_inflight=5 leaves zero headroom: blocker (1)
+    # + batch (4) fill the window exactly, so any leak trips it.
+    sim, plane, qp, lmr, rmr = admission_rig(
+        TenantSpec("t", max_inflight=5, deadline_ns=50.0),
+        scheduler_slots=1)
+    for round_ in range(3):
+        blocker = plane.submit(qp, write_wr(lmr, rmr, wr_id=100 + round_))
+        wrs = [write_wr(lmr, rmr, wr_id=round_ * 4 + i) for i in range(4)]
+        events = plane.submit_batch(qp, wrs)      # queued behind the blocker
+        for ev in events:
+            comp = sim.run(until=ev)
+            assert comp.status is CompletionStatus.REJECTED
+        assert sim.run(until=blocker).ok
+        sim.run()
+    slo = plane.metrics["t"]
+    assert slo.rejects == {REJECT_DEADLINE: 12}   # never inflight_window
+    assert slo.ops == 3                           # the blockers
+    assert plane.admission.inflight["t"] == 0     # no slot leaked
 
 
 # ----------------------------------------------------------------- metrics
