@@ -70,6 +70,11 @@ def main(argv=None) -> int:
                         help="use the same-process shared-model lane for "
                              "targets exposing run_points_vector "
                              "(bypasses pool and cache for those targets)")
+    parser.add_argument("--profile", action="store_true",
+                        help="cProfile each target and print the top-20 "
+                             "functions by cumulative time (profiles this "
+                             "process; combine with --jobs 1 or "
+                             "--vectorized to see model internals)")
     args = parser.parse_args(argv)
     if args.full and args.quick:
         parser.error("--full and --quick are mutually exclusive")
@@ -89,10 +94,11 @@ def main(argv=None) -> int:
             module = importlib.import_module(TARGETS[name])
             t0 = time.time()
             if parallel.point_capable(module):
-                result = parallel.run_campaign(
-                    name, quick=quick, jobs=jobs, cache_dir=cache_dir,
-                    seed=args.seed, pool=pool, chunk=args.chunk,
-                    vectorized=args.vectorized)
+                with parallel.profiled(name, enable=args.profile):
+                    result = parallel.run_campaign(
+                        name, quick=quick, jobs=jobs, cache_dir=cache_dir,
+                        seed=args.seed, pool=pool, chunk=args.chunk,
+                        vectorized=args.vectorized)
                 for i, fig in enumerate(result.figures):
                     if i:
                         print()
@@ -108,12 +114,14 @@ def main(argv=None) -> int:
             # modules' runs and stay on the serial path.
             if args.plot and hasattr(module, "run"):
                 from repro.bench.plot import render
-                fig = module.run(quick=quick)
+                with parallel.profiled(name, enable=args.profile):
+                    fig = module.run(quick=quick)
                 print(fig.to_text())
                 print()
                 print(render(fig))
             else:
-                module.main(quick=quick)
+                with parallel.profiled(name, enable=args.profile):
+                    module.main(quick=quick)
             print(f"[{name} done in {time.time() - t0:.1f}s]\n")
     finally:
         if pool is not None:

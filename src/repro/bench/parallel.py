@@ -76,6 +76,7 @@ loudly on any digest difference between the two merges.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import hashlib
 import importlib
 import json
@@ -104,8 +105,35 @@ __all__ = [
     "normalize",
     "point_capable",
     "point_key",
+    "profiled",
     "run_campaign",
 ]
+
+
+@contextlib.contextmanager
+def profiled(label: str, enable: bool = True, top: int = 20):
+    """cProfile the enclosed block; print the top-``top`` functions by
+    cumulative time.  Profiles the *calling* process only — with a
+    worker pool, point evaluation happens in the workers, so profile
+    with ``--jobs 1`` (or ``--vectorized``) to see model internals."""
+    if not enable:
+        yield
+        return
+    import cProfile
+    import io
+    import pstats
+    prof = cProfile.Profile()
+    prof.enable()
+    try:
+        yield
+    finally:
+        prof.disable()
+        buf = io.StringIO()
+        pstats.Stats(prof, stream=buf).sort_stats(
+            "cumulative").print_stats(top)
+        print(f"--- profile: {label} (top {top} by cumulative time) ---")
+        print(buf.getvalue().rstrip())
+        print("--- end profile ---")
 
 #: Default on-disk cache location (repo root when invoked via Makefile).
 DEFAULT_CACHE_DIR = ".bench-cache"
@@ -884,10 +912,14 @@ def main(argv: Optional[list[str]] = None) -> int:
                         help="additionally run the campaign through the "
                              "worker-side point cache and report "
                              "hits/misses/bytes")
+    parser.add_argument("--profile", action="store_true",
+                        help="cProfile the serial campaign and print the "
+                             "top-20 functions by cumulative time")
     args = parser.parse_args(argv)
     quick = not args.full
-    serial = run_campaign(args.target, quick=quick, jobs=1, cache_dir=None,
-                          seed=args.seed)
+    with profiled(f"{args.target} (serial)", enable=args.profile):
+        serial = run_campaign(args.target, quick=quick, jobs=1,
+                              cache_dir=None, seed=args.seed)
     d_serial = figures_digest(serial.figures)
     with WorkerPool(args.jobs, chunk=args.chunk) as pool:
         pooled = run_campaign(args.target, quick=quick, jobs=args.jobs,

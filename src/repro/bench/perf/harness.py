@@ -19,6 +19,7 @@ from repro.sim import Simulator
 
 __all__ = [
     "DEFAULT_TOLERANCE",
+    "EVENTS_PER_OP_TOLERANCE",
     "SCENARIOS",
     "SPEEDUP_CORES",
     "SPEEDUP_FLOOR",
@@ -30,6 +31,12 @@ __all__ = [
 
 #: Gate threshold: fail when events/sec drops by more than this fraction.
 DEFAULT_TOLERANCE = 0.20
+
+#: Gate threshold for events per completed op.  The metric is fully
+#: deterministic (both counters are simulated), so any real increase is
+#: a hot-path regression; the 1% slack only absorbs the 2-decimal
+#: rounding in the baseline file.
+EVENTS_PER_OP_TOLERANCE = 0.01
 
 #: Parallel-campaign gate: the warm worker pool must deliver at least
 #: this speedup over serial with 4 jobs.  Enforced only when the run
@@ -98,6 +105,7 @@ def _sweep_parallel() -> dict:
     return {
         "figures_digest": d_serial,
         "n_points": serial.n_points,
+        "_table": "\n".join(f.to_text() for f in serial.figures),
         "_metrics": {
             "serial_points_per_sec": round(serial_rate, 2),
             "jobs4_points_per_sec": round(pooled_rate, 2),
@@ -118,6 +126,10 @@ def _figure(module_name: str) -> Callable[[], dict]:
             "name": fig.name,
             "x": [str(x) for x in fig.x_values],
             "series": {s.label: s.values for s in fig.series},
+            # The rendered table is digested separately from the
+            # schedule: a table change is an output regression and is
+            # never a legitimate reason to refresh the baseline.
+            "_table": fig.to_text(),
         }
     return runner
 
@@ -155,24 +167,40 @@ def _digest(outcome: dict) -> str:
 
 def run_scenarios(names: Optional[list[str]] = None) -> dict:
     """Time the named scenarios (default: all); returns a baseline dict."""
+    from repro.verbs.qp import QueuePair
+
     out: dict = {"format": 1, "scenarios": {}}
     for name in names or list(SCENARIOS):
         fn = SCENARIOS[name]
         gc.collect()  # start each scenario from a clean allocator state
         events_before = Simulator.total_events
+        ops_before = QueuePair.total_completions
         t0 = time.perf_counter()
         outcome = fn()
         wall = time.perf_counter() - t0
         events = Simulator.total_events - events_before
+        ops = QueuePair.total_completions - ops_before
         # ``_metrics`` carries wall-clock-derived numbers (e.g. parallel
         # speedup) that vary across machines; keep them out of the digest.
-        metrics = outcome.pop("_metrics", None)
+        # ``_table`` is the rendered bench table, digested on its own so
+        # the gate can tell "schedule moved" from "output moved".
+        metrics = outcome.pop("_metrics", None) or {}
+        table = outcome.pop("_table", None)
+        if ops:
+            # Deterministic hot-path cost: dispatched events per
+            # completed verbs op.  Lives in the metrics block (it is not
+            # part of the simulated outcome) but is gated, unlike the
+            # wall-clock numbers around it.
+            metrics["events_per_op"] = round(events / ops, 2)
         row = {
             "wall_s": round(wall, 4),
             "events": events,
             "events_per_sec": round(events / wall) if wall > 0 else 0,
             "digest": _digest(outcome),
         }
+        if table is not None:
+            row["table_digest"] = hashlib.sha256(
+                table.encode()).hexdigest()
         if metrics:
             row["metrics"] = metrics
         out["scenarios"][name] = row
@@ -195,9 +223,18 @@ def check(baseline: dict, current: dict,
     Returns a list of human-readable failures (empty == gate passes):
 
     * an events/sec drop beyond ``tolerance`` — the fast path regressed;
-    * a digest mismatch — the *schedule* changed, which no optimization
-      is allowed to do (model changes must refresh the baseline
-      deliberately via ``make perf-update``);
+    * a *table* digest mismatch — the rendered bench output changed.
+      This is never legitimate: every optimization (including ones that
+      change the event schedule) must leave the assembled tables
+      bit-identical;
+    * a *schedule* digest mismatch — the dispatched-event timeline
+      changed.  Legitimate only when the event count moved deliberately
+      (e.g. an event-elision optimization like the express lane); then
+      refresh via ``make perf-update`` and note the change in the
+      baseline.  Illegitimate if the tables moved too — see above;
+    * an ``events_per_op`` increase beyond
+      :data:`EVENTS_PER_OP_TOLERANCE` — the hot path is dispatching
+      more events per completed verbs op;
     * a scenario missing from either side;
     * a ``jobs4_speedup`` below :data:`SPEEDUP_FLOOR` when the current
       run had at least :data:`SPEEDUP_CORES` usable cores — parallel
@@ -222,11 +259,34 @@ def check(baseline: dict, current: dict,
                 f"{name}: not in baseline (run `make perf-update`)")
             continue
         b, c = base[name], cur[name]
-        if c["digest"] != b["digest"]:
+        if ("table_digest" in b and "table_digest" in c
+                and c["table_digest"] != b["table_digest"]):
             failures.append(
-                f"{name}: schedule digest changed "
-                f"({b['digest'][:12]} -> {c['digest'][:12]}) — simulated "
-                "outputs moved; optimizations must be schedule-preserving")
+                f"{name}: TABLE digest changed "
+                f"({b['table_digest'][:12]} -> {c['table_digest'][:12]}) "
+                "— the rendered bench output moved; this is an output "
+                "regression and never a legitimate baseline refresh")
+        if c["digest"] != b["digest"]:
+            if c["events"] != b["events"]:
+                failures.append(
+                    f"{name}: schedule digest changed with the event "
+                    f"count ({b['events']:,} -> {c['events']:,}); if "
+                    "this is a deliberate event-elision change and the "
+                    "tables are bit-identical, refresh via `make "
+                    "perf-update` and note it in the baseline")
+            else:
+                failures.append(
+                    f"{name}: schedule digest changed "
+                    f"({b['digest'][:12]} -> {c['digest'][:12]}) at the "
+                    "same event count — simulated outputs moved; "
+                    "optimizations must be schedule-preserving")
+        b_epo = b.get("metrics", {}).get("events_per_op")
+        c_epo = c.get("metrics", {}).get("events_per_op")
+        if b_epo and c_epo and c_epo > b_epo * (
+                1.0 + EVENTS_PER_OP_TOLERANCE):
+            failures.append(
+                f"{name}: events/op rose {b_epo} -> {c_epo} — the hot "
+                "path dispatches more events per completed op")
         floor = b["events_per_sec"] * (1.0 - tolerance)
         if c["events_per_sec"] < floor:
             drop = 1.0 - c["events_per_sec"] / b["events_per_sec"]

@@ -38,7 +38,7 @@ sequence the old ``Switch`` did.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Generator, Iterator
+from typing import TYPE_CHECKING, Generator, Iterator, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..params import HardwareParams
@@ -198,6 +198,19 @@ class Route:
         if not self.links:
             return self.plain_ns
         return sum(link.latency_ns for link in self.links)
+
+    def traverse_ns(self) -> Optional[float]:
+        """Closed-form traversal latency, or ``None`` when stateful.
+
+        A plain route (single-switch crossbar) is one fixed constant and
+        can be folded into an arithmetic timeline — the express lane
+        (:mod:`repro.verbs.express`) consumes this.  Queued routes return
+        ``None``: their delay depends on live queue state and drops, so
+        they must be stepped through :meth:`traverse`.
+        """
+        if not self.links:
+            return self.plain_ns
+        return None
 
     def traverse(self, nbytes: int, droppable: bool = True
                  ) -> Generator[float, None, tuple[bool, bool]]:

@@ -55,6 +55,12 @@ class FaultInjector:
                  rng: Optional[np.random.Generator] = None):
         self.sim = sim
         self.rng = rng
+        # Constructing an injector declares intent to perturb: retire the
+        # express lane for this run.  Per-port eligibility would miss
+        # cross-port couplings (a degraded port's stepped WRs contending
+        # with express bookings on the peer), so the whole run steps.
+        if sim.express is not None:
+            sim.express.poison("fault-injector")
         #: id(target) -> (target, set of active fault kinds).  Targets are
         #: RnicPorts (kinds "slow" / "jitter" / "drop" / "blackhole" /
         #: "down") or fabric Links (kinds "link_drop" / "link_degrade" /

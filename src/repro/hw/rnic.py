@@ -47,6 +47,12 @@ class RnicPort:
                              name=f"{name}.pcie")
         self.tx_ops = 0
         self.rx_ops = 0
+        #: Stepped-pipeline WRs currently in flight through this port.
+        #: The express lane (repro.verbs.express) refuses to book a
+        #: closed-form timeline while a stepped op holds (or may yet
+        #: acquire) any of this port's units — the two accounting schemes
+        #: must never overlap on one port.
+        self._stepped = 0
         # Hot-path aliases: params are frozen and the wire-time cache is
         # shared device-wide (see Rnic.wire_time_ns).
         self._params = rnic.params

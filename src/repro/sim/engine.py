@@ -558,7 +558,7 @@ class Simulator:
 
     __slots__ = ("now", "_heap", "_seq", "_crashed", "events_processed",
                  "events_cancelled", "_timeout_pool", "_event_pool",
-                 "trace_dispatch", "check")
+                 "trace_dispatch", "check", "express")
 
     #: Class-wide dispatched-event counter (monotonic across instances).
     total_events: int = 0
@@ -582,6 +582,10 @@ class Simulator:
         #: disabled cost is a single branch per hook site.  Bound to a
         #: local at ``run()`` entry — install before running.
         self.check = None
+        #: Closed-form verbs fast lane (repro.verbs.express.ExpressState),
+        #: attached by Cluster on eligible topologies.  ``None`` = every op
+        #: steps through the generator pipeline.
+        self.express = None
 
     # -- event construction ------------------------------------------------
     def event(self) -> Event:
@@ -622,6 +626,29 @@ class Simulator:
             ev.delay = delay
         self._seq = seq = self._seq + 1
         heappush(self._heap, (self.now + delay, NORMAL, seq, ev))
+        return ev
+
+    def call_at(self, when: float, fn: Callable[["Event"], None]) -> Event:
+        """Fused wake-up: run ``fn(event)`` once at absolute time ``when``.
+
+        The express lane's one-event primitive: a pooled Event is pre-marked
+        triggered and pushed directly at ``when`` (absolute, not ``now +
+        delay`` — closed-form timelines are computed as absolute instants
+        and must not pick up float error from a round trip through a
+        delta).  The dispatch loop handles it through the ordinary
+        non-Sleep branch; ``event.cancel()`` tombstones it in O(1), so a
+        recomputed timeline can reschedule cheaply.  Keys are allocated
+        from the same global ``_seq`` as every other event, preserving
+        deterministic tie order.
+        """
+        ev = self.event()
+        ev._triggered = True
+        ev._value = None
+        ev.callbacks.append(fn)
+        if when < self.now:  # float dust from long arithmetic chains
+            when = self.now
+        self._seq = seq = self._seq + 1
+        heappush(self._heap, (when, NORMAL, seq, ev))
         return ev
 
     def process(self, generator: Generator, name: str = "") -> Process:

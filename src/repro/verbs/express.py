@@ -1,0 +1,693 @@
+"""Express lane: closed-form WR timelines for the sunny one-sided path.
+
+The stepped pipeline (:meth:`repro.verbs.qp.QueuePair._execute`) pays
+~13-19 engine events per WR: a process boot, an acquire grant + hold
+sleep per contended unit (WQE DMA, payload fetch, tx unit, responder
+rx/atomic, response and delivery DMAs), constant sleeps (forward wire,
+read turnaround, response wire, CQE DMA), two process-completion events
+and an ``all_of`` barrier for the cut-through pairs, and the final
+``done`` event.  On the *sunny* path — QP in RTS, plain single-switch
+routes, no faults, no DCQCN, no tracer/sanitizer — every hold duration
+is pure arithmetic, known the moment the unit is granted.
+
+This module replays that timeline with one fused wake-up
+(:meth:`Simulator.call_at`) per *hold* and per *constant sleep*, roughly
+halving the events per WR while keeping schedules bit-identical.  The
+load-bearing invariant is tie order: the engine breaks ties at an
+instant by event *allocation order* (the global ``seq``), and the
+stepped path allocates each hold's end event at its **grant** dispatch —
+the arrival dispatch when the unit is free, the *releaser's* dispatch
+when it queued.  Anything keyed to arrival order instead inverts
+same-instant completion ties under contention, and the inversion
+propagates through shared LRU state (metadata SRAM) into different
+tables.  So the lane mirrors the grant structure literally:
+
+* Each contended resource gets a real-time FIFO mirror (``_Fifo``).  A
+  booking made while the unit is free schedules its end-wake
+  immediately (``now + dur``); a booking against a busy unit queues.
+* Every end-wake handler *first* grants the next queued booking —
+  allocating the successor's end-wake at this very dispatch, exactly
+  where the stepped ``Resource.release`` pushes its grant — then bumps
+  the unit's counters (``tx_ops``/``rx_ops``/``dma_count``…) and only
+  then continues its own op, matching the stepped ``finally:
+  release()`` / counter / continue order statement for statement.
+* Cut-through pairs (payload fetch ∥ tx hold, responder rx ∥ drain
+  DMA) join with one extra same-instant wake mirroring the stepped
+  ``all_of`` resume; single holds continue inline in their end-wake,
+  like a ``yield from`` subgenerator resuming its caller.
+* Constant delays (forward wire, read turnaround, response wire, CQE
+  DMA) each get their own wake allocated at the same instant the
+  stepped path allocates the corresponding sleep.
+* Atomic word locks are FIFO chains whose release runs the next
+  owner's service bookings at the releaser's dispatch — the stepped
+  grant instant.
+* RC in-order completion needs no arithmetic at all: an op whose
+  predecessor's ``done`` has not yet *dispatched* parks by attaching
+  its wake callback to that event — the very mechanism the stepped
+  ``yield prev`` uses — so it resumes at the same dispatch, after any
+  application waiters that subscribed earlier.
+
+Because no booking ever lands at a *future* arrival, the timeline never
+shifts once scheduled: there is no displacement, no repair pass, and
+every scheduled wake is final.
+
+SRAM evaluations (QP context + per-SGE translation) run inside the
+wake handlers at the same instants — and therefore the same LRU order —
+as the stepped path; unit counters are incremented at hold ends, not
+batched, so mid-run observers see identical state.
+
+Fallback rules (the lane is chosen per post, never mid-flight):
+
+* ineligible post -> stepped generator, unchanged schedules;
+* stepped WRs in flight on either port -> stepped (the two accounting
+  schemes never overlap on one port's units);
+* fault injector construction, SEND opcodes, or tracer attachment
+  *poison* the lane for the whole run — those features interleave
+  stepped Resource holds with FIFO bookings in ways the mirror cannot
+  see.  Express ops already in flight at poison time drain on their
+  booked timelines.
+
+See docs/PERFORMANCE.md ("Express lane") for the eligibility predicate
+and the digest-gate implications.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import deque
+from functools import partial
+from typing import TYPE_CHECKING, Optional
+
+from repro.verbs.types import Completion, CompletionStatus, Opcode
+from repro.verbs.qp import QPState, QueuePair
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.hw.cluster import Cluster
+    from repro.sim import Event, Simulator
+    from repro.verbs.types import WorkRequest
+
+__all__ = ["ExpressState", "ExpressOp"]
+
+# Op phases — the target of the op's *primary* wake callback (``wcb``).
+# The secondary callback (``wcb2``) serves the concurrent half of a
+# cut-through pair and is disambiguated by the same phase field.
+(P_WQE,      # WQE DMA end: requester evals, exec bookings
+ P_EXEC,     # tx-unit hold end (wcb2: payload-fetch DMA end)
+ P_EXEC_R,   # cut-through join resume (mirrors the all_of wake)
+ P_Y,        # forward wire: request arrives at the responder
+ P_SVC,      # WRITE rx / atomic-unit hold end (wcb2: drain DMA end)
+ P_SVC_R,    # WRITE service join resume
+ P_RX,       # READ responder hold end
+ P_TURN,     # READ host-memory turnaround elapsed
+ P_RDMA,     # READ response-fetch DMA end
+ P_RTX,      # READ response serialization end
+ P_BWD,      # READ response wire: data arrives back at the requester
+ P_DLV,      # READ local delivery DMA end
+ P_TAIL,     # WRITE/atomic response wire elapsed
+ P_T,        # CQE DMA end: completion instant
+ P_PARK,     # waiting on the predecessor's done dispatch (in-order RC)
+ P_DONE) = range(16)
+
+
+class _Fifo:
+    """Real-time FIFO mirror of one capacity-1 :class:`Resource`.
+
+    ``held`` says a booking is in service; ``queue`` holds bookings made
+    while busy — ``(dur, cb)`` pairs for timed holds, bare ops for
+    atomic word locks (their span ends when the owner's service does).
+    Busy-time accounting is written through to the mirrored Resource so
+    ``utilization()`` reports identically under either lane.
+    """
+
+    __slots__ = ("res", "held", "queue")
+
+    def __init__(self, res) -> None:
+        self.res = res
+        self.held = False
+        self.queue: deque = deque()
+
+
+class ExpressOp:
+    """One WR's closed-form timeline (flight state + cached facts)."""
+
+    __slots__ = (
+        "qp", "wr", "done",
+        # the predecessor's done event (RC in-order completion); the op
+        # parks on it when its own tail beats the predecessor's dispatch
+        "prev",
+        "phase", "opcode", "total_len", "signaled", "move_data",
+        "outbound", "inline", "wire_payload", "wqe_bytes",
+        # doorbell batch: every op of the batch, on the leader only
+        "mates",
+        # cut-through join countdown (payload∥tx, rx∥drain)
+        "pending",
+        # stashed hold durations (service hold, drain DMA)
+        "h1", "h2",
+        # held word-lock FIFO (WRITE-to-hot-word / atomics), else None
+        "wl",
+        "value",
+        # wake callbacks: primary (phase-dispatched) and cut-through
+        "wcb", "wcb2",
+    )
+
+    def __init__(self, state: "ExpressState", qp: "QueuePair",
+                 wr: "WorkRequest", done: "Event") -> None:
+        self.qp = qp
+        self.wr = wr
+        self.done = done
+        self.prev = None
+        self.phase = P_WQE
+        opcode = wr.opcode
+        self.opcode = opcode
+        total_len = wr.total_length
+        self.total_len = total_len
+        self.signaled = wr.signaled
+        self.move_data = wr.move_data
+        outbound = total_len if opcode is Opcode.WRITE else 0
+        self.outbound = outbound
+        self.inline = outbound <= qp._params.max_inline_bytes
+        self.wire_payload = outbound if outbound else 16
+        self.wqe_bytes = 0
+        self.mates = None
+        self.pending = 0
+        self.h1 = 0.0
+        self.h2 = 0.0
+        self.wl = None
+        self.value = None
+        self.wcb = partial(state._on_wake, self)
+        self.wcb2 = None
+
+
+class ExpressState:
+    """Per-simulator express-lane state: FIFO mirrors + kill switch."""
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        #: False once poisoned; checked (with the per-post predicate) on
+        #: every post.  Poisoning never touches in-flight express ops.
+        self.on = True
+        self.poisoned: Optional[str] = None
+        #: Resource -> _Fifo, keyed by object identity; only resources
+        #: the verbs hot path books appear here.
+        self._fifos: dict = {}
+
+    # ------------------------------------------------------------ lifecycle
+    @classmethod
+    def attach(cls, cluster: "Cluster") -> Optional["ExpressState"]:
+        """Attach (or fetch) the express lane for ``cluster``'s simulator.
+
+        Topology-level eligibility is decided once, here: only the plain
+        single-switch fabric has closed-form routes, and DCQCN pacing is
+        inherently stateful.  ``REPRO_EXPRESS=0`` disables the lane for
+        A/B equivalence runs.
+        """
+        sim = cluster.sim
+        state = sim.express
+        if state is not None:
+            return state
+        if cluster.fabric.kind != "single":
+            return None
+        if cluster.params.dcqcn_enabled:
+            return None
+        if os.environ.get("REPRO_EXPRESS", "1") == "0":
+            return None
+        state = cls(sim)
+        sim.express = state
+        return state
+
+    def poison(self, reason: str) -> None:
+        """Permanently disable the lane for this run (new posts step)."""
+        if self.on:
+            self.on = False
+            self.poisoned = reason
+
+    # ------------------------------------------------------- FIFO mirrors
+    def _fifo(self, res) -> _Fifo:
+        f = self._fifos.get(res)
+        if f is None:
+            f = self._fifos[res] = _Fifo(res)
+        return f
+
+    def _hold(self, fifo: _Fifo, dur: float, cb) -> None:
+        """Book a timed hold: grant now if free, else queue FIFO.
+
+        The end-wake is allocated at the grant dispatch — here when the
+        unit is free, at the releaser's dispatch when queued — which is
+        precisely where the stepped path allocates it (the hold sleep is
+        pushed when the process resumes from ``yield res.acquire()``).
+        """
+        if fifo.held:
+            fifo.queue.append((dur, cb))
+            return
+        fifo.held = True
+        res = fifo.res
+        if res._in_use == 0 and res._busy_since is None:
+            res._busy_since = self.sim.now
+        sim = self.sim
+        sim.call_at(sim.now + dur, cb)
+
+    def _release(self, fifo: _Fifo) -> None:
+        """End one hold: grant the next queued booking *at this dispatch*
+        (the stepped ``Resource.release`` pushes its grant here too), or
+        mark the unit idle and close out its busy-time span."""
+        q = fifo.queue
+        if q:
+            dur, cb = q.popleft()
+            sim = self.sim
+            sim.call_at(sim.now + dur, cb)
+            return
+        fifo.held = False
+        res = fifo.res
+        if res._in_use == 0 and res._busy_since is not None:
+            res._busy_ns += self.sim.now - res._busy_since
+            res._busy_since = None
+
+    def _acquire_lock(self, fifo: _Fifo, op: ExpressOp) -> bool:
+        """Atomic word lock: True when granted immediately, else queued."""
+        if fifo.held:
+            fifo.queue.append(op)
+            return False
+        fifo.held = True
+        res = fifo.res
+        if res._in_use == 0 and res._busy_since is None:
+            res._busy_since = self.sim.now
+        return True
+
+    def _unlock(self, fifo: _Fifo) -> None:
+        """Release a word lock; the next owner books its service stage
+        at this dispatch (the stepped grant instant)."""
+        q = fifo.queue
+        if q:
+            op = q.popleft()
+            if op.opcode is Opcode.WRITE:
+                self._write_granted(op)
+            else:
+                self._atomic_granted(op)
+            return
+        fifo.held = False
+        res = fifo.res
+        if res._in_use == 0 and res._busy_since is not None:
+            res._busy_ns += self.sim.now - res._busy_since
+            res._busy_since = None
+
+    # ------------------------------------------------------------- posting
+    def post(self, qp: "QueuePair", wr: "WorkRequest", done: "Event",
+             prev: Optional["Event"]) -> ExpressOp:
+        """Book one WR's WQE fetch; the timeline unrolls wake by wake."""
+        op = ExpressOp(self, qp, wr, done)
+        op.prev = prev
+        op.wqe_bytes = wqe = qp._wqe_bytes(wr)
+        lp = qp.local_port
+        self._hold(self._fifo(lp.pcie._bus),
+                   lp.pcie.dma_ns(wqe, qp.sq_socket), op.wcb)
+        return op
+
+    def post_batch(self, qp: "QueuePair", wrs: list, events: list,
+                   prev: Optional["Event"]) -> ExpressOp:
+        """Doorbell batch: one chained WQE fetch, WR-ordered evaluation.
+
+        The leader carries the shared fetch (and its DMA counters, with
+        the chained total); each op chains in-order on its predecessor's
+        ``done`` exactly like the stepped per-WR ``prev`` threading."""
+        ops = [ExpressOp(self, qp, wr, ev) for wr, ev in zip(wrs, events)]
+        lead = ops[0]
+        lead.mates = ops
+        total = 0
+        for op, wr in zip(ops, wrs):
+            total += qp._wqe_bytes(wr)
+            op.prev = prev
+            prev = op.done
+        lead.wqe_bytes = total
+        lp = qp.local_port
+        self._hold(self._fifo(lp.pcie._bus),
+                   lp.pcie.dma_ns(total, qp.sq_socket), lead.wcb)
+        return ops[-1]
+
+    # ------------------------------------------------------------- wake-ups
+    def _on_wake(self, op: ExpressOp, _ev) -> None:
+        """Primary wake: advance ``op`` across the boundary ``op.phase``."""
+        phase = op.phase
+        if phase == P_WQE:
+            self._wqe_end(op)
+        elif phase == P_EXEC:
+            self._tx_end(op)
+        elif phase == P_EXEC_R:
+            self._exec_done(op)
+        elif phase == P_Y:
+            self._arrive(op)
+        elif phase == P_SVC:
+            if op.opcode is Opcode.WRITE:
+                self._write_rx_end(op)
+            else:
+                self._atomic_end(op)
+        elif phase == P_SVC_R:
+            self._svc_resume(op)
+        elif phase == P_RX:
+            self._read_rx_end(op)
+        elif phase == P_TURN:
+            self._turnaround_end(op)
+        elif phase == P_RDMA:
+            self._read_dma_end(op)
+        elif phase == P_RTX:
+            self._read_tx_end(op)
+        elif phase == P_BWD:
+            self._read_back(op)
+        elif phase == P_DLV:
+            self._deliver_end(op)
+        elif phase == P_TAIL:
+            self._tail_end(op)
+        elif phase == P_T:
+            self._try_finish(op)
+        elif phase == P_PARK:
+            self._complete(op)
+
+    def _on_wake2(self, op: ExpressOp, _ev) -> None:
+        """Secondary wake: the concurrent half of a cut-through pair."""
+        qp = op.qp
+        if op.phase == P_EXEC:
+            # Payload-fetch DMA end (streams beside the tx hold).
+            pcie = qp.local_port.pcie
+            self._release(self._fifo(pcie._bus))
+            pcie.dma_bytes += op.outbound
+            pcie.dma_count += 1
+            self._exec_join(op)
+        else:  # P_SVC: WRITE drain DMA end
+            pcie = qp.remote_port.pcie
+            self._release(self._fifo(pcie._bus))
+            pcie.dma_bytes += op.total_len
+            pcie.dma_count += 1
+            self._svc_join(op)
+
+    # -- requester side ----------------------------------------------------
+    def _wqe_end(self, op: ExpressOp) -> None:
+        qp = op.qp
+        pcie = qp.local_port.pcie
+        self._release(self._fifo(pcie._bus))
+        pcie.dma_bytes += op.wqe_bytes
+        pcie.dma_count += 1
+        mates = op.mates
+        if mates is None:
+            self._eval_req(op)
+        else:
+            op.mates = None
+            for m in mates:  # WR order == stepped spawn order
+                self._eval_req(m)
+
+    def _eval_req(self, op: ExpressOp) -> None:
+        """Requester SRAM evaluations + exec-stage bookings.
+
+        Runs at the WQE-DMA-end instant, in stepped order (QP context
+        first, then each SGE's pages): these mutate LRU state, so the
+        instant and order are part of the equivalence contract.
+        """
+        qp = op.qp
+        wr = op.wr
+        lp = qp.local_port
+        lrnic = qp.local_machine.rnic
+        extra = lrnic.qp_context(qp.qp_id)
+        translate = lrnic.translate
+        for sge in wr.sgl:
+            extra += translate(sge.mr.page_keys(sge.offset, sge.length))
+        exec_ns = qp._exec_ns[op.opcode]
+        op.phase = P_EXEC
+        if op.outbound and not op.inline:
+            # Cut-through payload fetch rides the PCIe bus concurrently
+            # with the tx hold; stepped spawns the fetch first.
+            op.pending = 2
+            op.wcb2 = partial(self._on_wake2, op)
+            buf_socket = wr.sgl[0].mr.socket if wr.sgl else lp.socket
+            self._hold(self._fifo(lp.pcie._bus),
+                       lp.pcie.dma_ns(op.outbound, buf_socket, wr.n_sge),
+                       op.wcb2)
+        self._hold(self._fifo(lp.tx_unit),
+                   lp.tx_occupancy_ns(exec_ns, op.wire_payload, wr.n_sge,
+                                      extra), op.wcb)
+
+    def _tx_end(self, op: ExpressOp) -> None:
+        qp = op.qp
+        lp = qp.local_port
+        self._release(self._fifo(lp.tx_unit))
+        lp.tx_ops += 1
+        qp.local_machine.rnic.fabric.record(op.wire_payload)
+        if op.pending:
+            self._exec_join(op)
+        else:
+            self._exec_done(op)
+
+    def _exec_join(self, op: ExpressOp) -> None:
+        op.pending -= 1
+        if op.pending == 0:
+            # Same-instant resume wake, mirroring the stepped all_of.
+            op.phase = P_EXEC_R
+            sim = self.sim
+            sim.call_at(sim.now, op.wcb)
+
+    def _exec_done(self, op: ExpressOp) -> None:
+        """Exec stage complete: the request takes the forward wire."""
+        op.phase = P_Y
+        sim = self.sim
+        sim.call_at(sim.now + op.qp._fwd_ns, op.wcb)
+
+    # -- responder side ----------------------------------------------------
+    def _arrive(self, op: ExpressOp) -> None:
+        """Request arrival: responder evals + service-stage bookings."""
+        qp = op.qp
+        wr = op.wr
+        p = qp._params
+        rp = qp.remote_port
+        rrnic = qp.remote_machine.rnic
+        r_extra = rrnic.qp_context(qp.qp_id)
+        opcode = op.opcode
+        total_len = op.total_len
+        rmr = wr.remote_mr
+        if opcode is Opcode.READ:
+            r_extra += rrnic.translate(
+                rmr.page_keys(wr.remote_offset, total_len))
+            op.phase = P_RX
+            self._hold(self._fifo(rp.rx_unit), p.responder_ns + r_extra,
+                       op.wcb)
+            return
+        if opcode is Opcode.WRITE:
+            r_extra += rrnic.translate(
+                rmr.page_keys(wr.remote_offset, total_len))
+            # Inbound DMA to the alternate socket partially stalls the
+            # responder pipeline (Section II-B4).
+            r_extra += (p.responder_cross_exposure
+                        * qp.remote_machine.topology.cross_penalty(
+                            rp.socket, rmr.socket))
+            if total_len:
+                wire = rp._wire_cache.get(total_len)
+                if wire is None:
+                    wire = rp._wire_cache[total_len] = \
+                        p.wire_time(total_len)
+                base = p.responder_ns + r_extra
+                op.h1 = base if base > wire else wire
+            else:
+                op.h1 = p.responder_ns + r_extra
+            op.h2 = rp.pcie.dma_ns(total_len, rmr.socket)
+            lock = None
+            if total_len == 8:
+                # An 8-byte write to a word atomics are hammering (a
+                # lock release) serializes on the device RMW lock.
+                lock = rrnic._atomic_locks.get(
+                    (rmr.mr_id, wr.remote_offset))
+            if lock is not None:
+                f = self._fifo(lock)
+                op.wl = f
+                if not self._acquire_lock(f, op):
+                    return  # _unlock runs _write_granted at the handover
+            self._write_granted(op)
+            return
+        # CAS / FAA
+        r_extra += rrnic.translate(rmr.page_keys(wr.remote_offset, 8))
+        r_extra += qp.remote_machine.topology.cross_penalty(
+            rp.socket, rmr.socket)
+        op.h1 = p.exec_atomic_ns + r_extra
+        f = self._fifo(rrnic.atomic_word_lock((rmr.mr_id, wr.remote_offset)))
+        op.wl = f
+        if self._acquire_lock(f, op):
+            self._atomic_granted(op)
+
+    def _write_granted(self, op: ExpressOp) -> None:
+        """WRITE holds the word lock (if any): cut-through rx ∥ drain."""
+        qp = op.qp
+        rp = qp.remote_port
+        op.phase = P_SVC
+        op.pending = 2
+        if op.wcb2 is None:
+            op.wcb2 = partial(self._on_wake2, op)
+        self._hold(self._fifo(rp.rx_unit), op.h1, op.wcb)
+        self._hold(self._fifo(rp.pcie._bus), op.h2, op.wcb2)
+
+    def _atomic_granted(self, op: ExpressOp) -> None:
+        """Atomic holds the word lock: occupy the port's atomic unit."""
+        op.phase = P_SVC
+        self._hold(self._fifo(op.qp.remote_port.atomic_unit), op.h1, op.wcb)
+
+    def _write_rx_end(self, op: ExpressOp) -> None:
+        rp = op.qp.remote_port
+        self._release(self._fifo(rp.rx_unit))
+        rp.rx_ops += 1
+        self._svc_join(op)
+
+    def _svc_join(self, op: ExpressOp) -> None:
+        op.pending -= 1
+        if op.pending == 0:
+            op.phase = P_SVC_R
+            sim = self.sim
+            sim.call_at(sim.now, op.wcb)
+
+    def _svc_resume(self, op: ExpressOp) -> None:
+        """WRITE service done: release the lock, land the data, respond."""
+        wl = op.wl
+        if wl is not None:
+            op.wl = None
+            self._unlock(wl)
+        if op.move_data:
+            op.qp._apply_write(op.wr)
+        self._tail_start(op)
+
+    def _atomic_end(self, op: ExpressOp) -> None:
+        qp = op.qp
+        rp = qp.remote_port
+        self._release(self._fifo(rp.atomic_unit))
+        rp.rx_ops += 1
+        op.value = qp._apply_atomic(op.wr)
+        wl = op.wl
+        op.wl = None
+        self._unlock(wl)
+        self._tail_start(op)
+
+    def _tail_start(self, op: ExpressOp) -> None:
+        """WRITE/atomic response: the ACK takes the reverse wire."""
+        op.phase = P_TAIL
+        sim = self.sim
+        sim.call_at(sim.now + op.qp._bwd_ns, op.wcb)
+
+    # -- READ response path -------------------------------------------------
+    def _read_rx_end(self, op: ExpressOp) -> None:
+        qp = op.qp
+        rp = qp.remote_port
+        self._release(self._fifo(rp.rx_unit))
+        rp.rx_ops += 1
+        # Host-memory fetch turnaround: pure latency, pipelined by the
+        # hardware, so it does not occupy the responder unit.
+        op.phase = P_TURN
+        sim = self.sim
+        sim.call_at(sim.now + qp._params.read_turnaround_ns, op.wcb)
+
+    def _turnaround_end(self, op: ExpressOp) -> None:
+        qp = op.qp
+        rp = qp.remote_port
+        op.phase = P_RDMA
+        self._hold(self._fifo(rp.pcie._bus),
+                   rp.pcie.dma_ns(op.total_len, op.wr.remote_mr.socket),
+                   op.wcb)
+
+    def _read_dma_end(self, op: ExpressOp) -> None:
+        qp = op.qp
+        rp = qp.remote_port
+        pcie = rp.pcie
+        self._release(self._fifo(pcie._bus))
+        pcie.dma_bytes += op.total_len
+        pcie.dma_count += 1
+        # Response data serializes on the responder's link (this is why
+        # outbound READ underperforms inbound WRITE — Section IV-C).
+        op.phase = P_RTX
+        self._hold(self._fifo(rp.tx_unit),
+                   rp.tx_occupancy_ns(qp._params.responder_ns, op.total_len),
+                   op.wcb)
+
+    def _read_tx_end(self, op: ExpressOp) -> None:
+        qp = op.qp
+        rp = qp.remote_port
+        self._release(self._fifo(rp.tx_unit))
+        rp.tx_ops += 1
+        qp.remote_machine.rnic.fabric.record(op.total_len)
+        op.phase = P_BWD
+        sim = self.sim
+        sim.call_at(sim.now + qp._bwd_ns, op.wcb)
+
+    def _read_back(self, op: ExpressOp) -> None:
+        """Response landed: DMA the data into the local buffers."""
+        qp = op.qp
+        wr = op.wr
+        lp = qp.local_port
+        op.phase = P_DLV
+        self._hold(self._fifo(lp.pcie._bus),
+                   lp.pcie.dma_ns(op.total_len, wr.sgl[0].mr.socket,
+                                  wr.n_sge), op.wcb)
+
+    def _deliver_end(self, op: ExpressOp) -> None:
+        qp = op.qp
+        pcie = qp.local_port.pcie
+        self._release(self._fifo(pcie._bus))
+        pcie.dma_bytes += op.total_len
+        pcie.dma_count += 1
+        if op.move_data:
+            qp._apply_read(op.wr)
+        self._cqe(op)
+
+    # -- completion ---------------------------------------------------------
+    def _tail_end(self, op: ExpressOp) -> None:
+        self._cqe(op)
+
+    def _cqe(self, op: ExpressOp) -> None:
+        """Service + response done: CQE DMA (when signaled), then finish."""
+        if op.signaled:
+            op.phase = P_T
+            sim = self.sim
+            sim.call_at(sim.now + op.qp._params.cqe_dma_ns, op.wcb)
+        else:
+            self._try_finish(op)
+
+    def _try_finish(self, op: ExpressOp) -> None:
+        """RC in-order completion: never overtake an earlier WR.
+
+        The stepped path parks with ``yield prev`` — a callback on the
+        predecessor's done event, resuming at that event's dispatch
+        after application waiters that subscribed earlier.  Attaching
+        ``wcb`` to the same event reproduces that dispatch, order, and
+        completion timestamp exactly.
+        """
+        prev = op.prev
+        if prev is not None and not prev._processed:
+            op.phase = P_PARK
+            prev.add_callback(op.wcb)
+            return
+        self._complete(op)
+
+    def _complete(self, op: ExpressOp) -> None:
+        """Completion instant: deliver the Completion, unlink the chain."""
+        op.phase = P_DONE
+        op.prev = None
+        qp = op.qp
+        wr = op.wr
+        if qp._last_express_op is op:
+            qp._last_express_op = None
+        qp.completed += 1
+        QueuePair.total_completions += 1
+        opcode = op.opcode
+        if qp.state is QPState.ERR:
+            # The QP died while this (already executed) WR awaited
+            # in-order delivery: RC reports it flushed — its data may
+            # have landed, the same ambiguity the stepped path carries.
+            qp.flushed_wrs += 1
+            status = CompletionStatus.WR_FLUSH_ERR
+            value = None
+            byte_len = 0
+        else:
+            status = CompletionStatus.SUCCESS
+            value = op.value
+            byte_len = 8 if opcode.is_atomic else op.total_len
+        sim = self.sim
+        completion = Completion(
+            wr_id=wr.wr_id, opcode=opcode, status=status,
+            timestamp_ns=sim.now, value=value, byte_len=byte_len,
+            retries=0)
+        check = sim.check  # fresh read: a sanitizer may attach mid-run
+        if check is not None:
+            check.on_completed(qp, wr, completion)
+        if op.signaled:
+            qp.cq.push(completion)
+        op.done.succeed(completion)

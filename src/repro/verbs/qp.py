@@ -77,6 +77,11 @@ class QueuePair:
     #: the verbs-equivalent of ENOMEM), a typical RC QP configuration.
     DEFAULT_MAX_SEND_WR = 256
 
+    #: Class-wide completed-WR counter (monotonic across instances, both
+    #: lanes).  The perf harness divides dispatched events by this to
+    #: track events/op — the fusion factor the express lane is gated on.
+    total_completions: int = 0
+
     def __init__(self, sim: Simulator, local_machine: Machine,
                  remote_machine: Machine, local_port: RnicPort,
                  remote_port: RnicPort, sq_socket: Optional[int] = None,
@@ -106,6 +111,11 @@ class QueuePair:
         # RC delivers completions strictly in posting order; ops that ride
         # different internal resources (atomics vs reads) must not overtake.
         self._last_completion: Optional[Event] = None
+        #: Most recent express-lane op still in flight on this QP (see
+        #: repro.verbs.express); lets a pipelined express post chain its
+        #: in-order constraint arithmetically.  None whenever the last
+        #: post took the stepped lane.
+        self._last_express_op = None
         #: Optional OpTracer (see repro.verbs.trace); set by
         #: RdmaContext.attach_tracer or directly.  None = no overhead.
         self.tracer = None
@@ -210,6 +220,7 @@ class QueuePair:
         if check is not None:
             check.on_posted(self, wr)
         self.completed += 1
+        QueuePair.total_completions += 1
         comp = self._flush_completion(wr)
         if check is not None:
             check.on_completed(self, wr, comp)
@@ -231,6 +242,7 @@ class QueuePair:
                 "reap their completions before reset()")
         self.state = QPState.RESET
         self._last_completion = None
+        self._last_express_op = None
         check = self.sim.check
         if check is not None:
             check.on_qp_state(self, QPState.ERR, QPState.RESET)
@@ -248,6 +260,31 @@ class QueuePair:
             check.on_qp_state(self, QPState.RESET, QPState.RTS)
 
     # ------------------------------------------------------------------ API
+    def _express_ok(self, prev: Optional[Event]) -> bool:
+        """Per-post sunny-path predicate for the express lane.
+
+        Everything here guards a stepped-path behavior the closed-form
+        timeline cannot reproduce: stepped WRs sharing this op's units,
+        queued routes, tracing/dispatch hooks, perturbed or lossy ports,
+        DCQCN pacing, or an in-order predecessor the lane cannot see.
+        """
+        lp = self.local_port
+        rp = self.remote_port
+        if (lp._stepped or rp._stepped or self._queued
+                or self.tracer is not None
+                or self.sim.trace_dispatch is not None
+                or lp.dcqcn is not None
+                or lp.slowdown != 1.0 or rp.slowdown != 1.0
+                or lp.jitter_rng is not None or rp.jitter_rng is not None
+                or not lp.link_up or not rp.link_up
+                or lp.loss_prob != 0.0 or rp.loss_prob != 0.0):
+            return False
+        if prev is not None and not prev._triggered:
+            last = self._last_express_op
+            if last is None or last.done is not prev:
+                return False
+        return True
+
     def post_send(self, wr: WorkRequest) -> Event:
         """Hand one WR to the hardware; returns its completion event."""
         wr.validate()
@@ -261,6 +298,19 @@ class QueuePair:
         check = self.sim.check
         if check is not None:
             check.on_posted(self, wr)
+        exp = self.sim.express
+        if exp is not None and exp.on and check is None:
+            if wr.opcode is Opcode.SEND:
+                # Channel semantics ride the shared recv Store and mix
+                # stepped Resource holds under express bookings; one SEND
+                # retires the lane for the run.
+                exp.poison("send-opcode")
+            elif self._express_ok(prev):
+                self._last_express_op = exp.post(self, wr, done, prev)
+                return done
+        self._last_express_op = None
+        self.local_port._stepped += 1
+        self.remote_port._stepped += 1
         self.sim.process(self._execute(wr, done, fetch_wqe=True, prev=prev),
                          name=self._proc_names[wr.opcode])
         return done
@@ -284,6 +334,23 @@ class QueuePair:
                 check.on_posted(self, wr)
         events = [sim.event() for _ in wrs]
         prev, self._last_completion = self._last_completion, events[-1]
+        exp = sim.express
+        if exp is not None and exp.on and check is None:
+            has_send = False
+            for wr in wrs:
+                if wr.opcode is Opcode.SEND:
+                    has_send = True
+                    break
+            if has_send:
+                exp.poison("send-opcode")
+            elif self._express_ok(prev):
+                self._last_express_op = exp.post_batch(self, wrs, events,
+                                                       prev)
+                return events
+        self._last_express_op = None
+        n = len(wrs)
+        self.local_port._stepped += n
+        self.remote_port._stepped += n
         self.sim.process(self._execute_batch(wrs, events, prev),
                          name=f"qp{self.qp_id}.doorbell[{len(wrs)}]")
         return events
@@ -469,6 +536,11 @@ class QueuePair:
         if record is not None:
             tracer.commit(record, sim.now)
         self.completed += 1
+        QueuePair.total_completions += 1
+        # Stepped-inflight accounting (incremented at post): once zero on
+        # both ports, new posts may take the express lane again.
+        lport._stepped -= 1
+        rport._stepped -= 1
         if status is CompletionStatus.WR_FLUSH_ERR:
             self.flushed_wrs += 1
         if status is CompletionStatus.SUCCESS:

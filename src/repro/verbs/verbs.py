@@ -18,6 +18,7 @@ from repro.hw.dram import AccessPattern
 from repro.memory.allocator import RegionAllocator
 from repro.sim import Event, Simulator
 from repro.verbs.cq import CompletionQueue
+from repro.verbs.express import ExpressState
 from repro.verbs.mr import MemoryRegion, MrSlice
 from repro.verbs.qp import QueuePair
 from repro.verbs.types import (CompletionError, Completion, Opcode, Sge,
@@ -55,6 +56,10 @@ class RdmaContext:
         #: attached, Workers route ops on tenant-tagged QPs through its
         #: admission control and QoS scheduler.
         self.service_plane = None
+        # Closed-form verbs fast lane: attached here (not in hw.Cluster)
+        # so the hw layer stays import-free of verbs.  No-op when the
+        # topology is queued, DCQCN paces, or REPRO_EXPRESS=0.
+        ExpressState.attach(cluster)
 
     def attach_tracer(self, tracer) -> None:
         """Enable per-op stage tracing (repro.verbs.trace.OpTracer) on all
@@ -62,6 +67,11 @@ class RdmaContext:
         self.tracer = tracer
         for qp in self.qps:
             qp.tracer = tracer
+        express = self.sim.express
+        if express is not None:
+            # Traced QPs step; untraced QPs sharing their atomic word
+            # locks must step too, or lock handover order diverges.
+            express.poison("tracer-attached")
 
     # -- memory -------------------------------------------------------------
     def register(self, machine: int, size: int, socket: int = 0) -> MemoryRegion:

@@ -230,13 +230,14 @@ def test_pool_close_is_idempotent_and_kills_workers():
 
 
 def test_vectorized_lane_matches_serial():
-    serial = run_campaign("table2", quick=True, jobs=1, cache_dir=None)
-    vec = run_campaign("table2", quick=True, jobs=1, cache_dir=None,
-                       vectorized=True)
-    assert vec.notes == ["vectorized same-process lane"]
-    assert figures_digest(vec.figures) == figures_digest(serial.figures)
+    for target in ("table2", "table3"):
+        serial = run_campaign(target, quick=True, jobs=1, cache_dir=None)
+        vec = run_campaign(target, quick=True, jobs=1, cache_dir=None,
+                           vectorized=True)
+        assert vec.notes == ["vectorized same-process lane"]
+        assert figures_digest(vec.figures) == figures_digest(serial.figures)
     # Targets without run_points_vector fall back to the normal lane.
-    fallback = run_campaign("table3", quick=True, jobs=1, cache_dir=None,
+    fallback = run_campaign("fig18", quick=True, jobs=1, cache_dir=None,
                             vectorized=True)
     assert fallback.notes == []
 

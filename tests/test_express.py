@@ -1,0 +1,217 @@
+"""Express-lane equivalence (docs/PERFORMANCE.md, "Express lane").
+
+The closed-form WR timeline must be *bit-identical* to the stepped
+generator: same completion timestamps, same returned values, same
+payload bytes in both memory regions, same final clock — while
+dispatching strictly fewer events.  And poisoning the lane mid-run
+(fault injector, sanitizer, tracer) must flip every subsequent post back
+to the stepped path with everything still completing correctly.
+"""
+
+import random
+
+import pytest
+
+from repro import build
+from repro.check import Sanitizer
+from repro.hw.faults import FaultInjector
+from repro.verbs import Worker
+from repro.verbs.trace import OpTracer
+from repro.verbs.types import CompletionStatus, Opcode, Sge, WorkRequest
+
+#: Transfer sizes straddling max_inline_bytes=220 so the mix exercises
+#: both the inline WQE path and the separate payload-DMA path.
+SIZES = (8, 32, 64, 220, 221, 256, 1024, 4096)
+
+
+def _random_wr(rng: random.Random, lmr, rmr, i: int) -> WorkRequest:
+    kind = rng.choice(("write", "write", "read", "read", "cas", "faa"))
+    signaled = rng.random() < 0.8
+    if kind in ("write", "read"):
+        size = rng.choice(SIZES)
+        loff = rng.randrange(0, lmr.size - size)
+        roff = rng.randrange(0, rmr.size - size)
+        return WorkRequest(
+            opcode=Opcode.WRITE if kind == "write" else Opcode.READ,
+            wr_id=i, sgl=[Sge(lmr, loff, size)], remote_mr=rmr,
+            remote_offset=roff, signaled=signaled)
+    # A handful of hot words so atomics contend on the word locks.
+    roff = 8 * rng.randrange(8)
+    if kind == "cas":
+        return WorkRequest(opcode=Opcode.CAS, wr_id=i, remote_mr=rmr,
+                           remote_offset=roff, compare=rng.randrange(4),
+                           swap=rng.randrange(1 << 32), signaled=signaled)
+    return WorkRequest(opcode=Opcode.FAA, wr_id=i, remote_mr=rmr,
+                       remote_offset=roff, add=rng.randrange(1, 1000),
+                       signaled=signaled)
+
+
+def _row(comp) -> tuple:
+    return (comp.wr_id, comp.opcode.value, comp.timestamp_ns, comp.value,
+            comp.byte_len, comp.status.value)
+
+
+def _run_mix(seed: int, express: bool, n_ops: int = 120, depth: int = 6,
+             batch: int = 0, poison=None) -> tuple[dict, int, object]:
+    """Drive a seeded random op mix; returns (comparable outcome,
+    events dispatched, the sim's express state or None)."""
+    with pytest.MonkeyPatch.context() as mp:
+        mp.setenv("REPRO_EXPRESS", "1" if express else "0")
+        sim, cluster, ctx = build(machines=2)
+    lmr = ctx.register(0, 1 << 15)
+    rmr = ctx.register(1, 1 << 15)
+    lmr.write(0, bytes(range(256)) * (lmr.size // 256))
+    qps = [ctx.create_qp(0, 1), ctx.create_qp(0, 1)]
+    w = Worker(ctx, 0)
+    rng = random.Random(seed)
+    log: list[tuple] = []
+
+    def client():
+        inflight = []
+        i = 0
+        while i < n_ops:
+            if poison is not None and i == n_ops // 2:
+                poison(sim, ctx)
+            qp = qps[rng.randrange(2)]
+            if batch and rng.random() < 0.5:
+                wrs = [_random_wr(rng, lmr, rmr, i + k)
+                       for k in range(batch)]
+                i += batch
+                events = yield from w.post_batch(qp, wrs)
+                inflight.extend(events)
+            else:
+                wr = _random_wr(rng, lmr, rmr, i)
+                i += 1
+                ev = yield from w.post(qp, wr)
+                inflight.append(ev)
+            while len(inflight) >= depth:
+                comp = yield from w.wait(inflight.pop(0))
+                log.append(_row(comp))
+        for ev in inflight:
+            comp = yield from w.wait(ev)
+            log.append(_row(comp))
+
+    p = sim.process(client())
+    sim.run(until=p)
+    outcome = {
+        "log": log,
+        "rmem": rmr.read(0, rmr.size),
+        "lmem": lmr.read(0, lmr.size),
+        "now": sim.now,
+    }
+    return outcome, sim.events_processed, sim.express
+
+
+# ------------------------------------------------------ the property test
+@pytest.mark.parametrize("seed", range(6))
+def test_express_equals_stepped_random_mix(seed):
+    stepped, ev_stepped, exp = _run_mix(seed, express=False)
+    assert exp is None  # REPRO_EXPRESS=0 never attaches the lane
+    express, ev_express, exp = _run_mix(seed, express=True)
+    assert exp is not None and exp.on  # the lane engaged and stayed sunny
+    assert express == stepped
+    assert ev_express < ev_stepped  # fewer events is the lane's point
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_express_equals_stepped_batched_mix(seed):
+    """Doorbell-batched posts ride the lane too (shared WQE fetch, mates
+    chained off the lead) and must stay bit-identical."""
+    stepped, ev_stepped, _ = _run_mix(seed, express=False, batch=4)
+    express, ev_express, exp = _run_mix(seed, express=True, batch=4)
+    assert exp is not None and exp.on
+    assert express == stepped
+    assert ev_express < ev_stepped
+
+
+# ----------------------------------------------------- mid-run poisoning
+def _check_poisoned_run(poison, reason):
+    """Common body: poison mid-run, assert the flip and the outcome."""
+    taken = {"posts": []}
+
+    def wrapped_poison(sim, ctx):
+        taken["at"] = len(taken["posts"])
+        poison(sim, ctx)
+        assert sim.express.poisoned == reason
+        assert not sim.express.on
+
+    def counting(seed=3):
+        # Count express posts by wrapping the state's entry points.
+        outcome, _, exp = _run_mix(seed, express=True, poison=wrapped_poison)
+        return outcome, exp
+
+    from repro.verbs.express import ExpressState
+    orig_post, orig_batch = ExpressState.post, ExpressState.post_batch
+
+    def post(self, *a, **k):
+        taken["posts"].append(1)
+        return orig_post(self, *a, **k)
+
+    def post_batch(self, *a, **k):
+        taken["posts"].append(1)
+        return orig_batch(self, *a, **k)
+
+    with pytest.MonkeyPatch.context() as mp:
+        mp.setattr(ExpressState, "post", post)
+        mp.setattr(ExpressState, "post_batch", post_batch)
+        outcome, exp = counting()
+    # The lane ran before the poison and never after it.
+    assert 0 < taken["at"] == len(taken["posts"]) < 120
+    assert exp.poisoned == reason
+    # Every op — express in flight at poison time and stepped after —
+    # completed successfully, in posting order per the reap loop.
+    log = outcome["log"]
+    assert len(log) == 120
+    assert sorted(r[0] for r in log) == list(range(120))
+    assert {r[5] for r in log} == {CompletionStatus.SUCCESS.value}
+    for wr_id, opcode, ts, value, blen, status in log:
+        if opcode in (Opcode.CAS.value, Opcode.FAA.value):
+            assert blen == 8 and value is not None
+        else:
+            assert value is None
+    return outcome
+
+
+def test_fault_injector_mid_run_flips_to_stepped():
+    _check_poisoned_run(
+        lambda sim, ctx: FaultInjector(sim), "fault-injector")
+
+
+def test_tracer_mid_run_flips_to_stepped():
+    outcome = _check_poisoned_run(
+        lambda sim, ctx: ctx.attach_tracer(OpTracer()), "tracer-attached")
+    assert outcome is not None
+
+
+def test_sanitizer_blocks_express_posts():
+    """sim.check is consulted per post: installing a sanitizer mid-run
+    moves new posts to the stepped path (where checker hooks fire) even
+    though the lane itself is merely bypassed, not poisoned."""
+    installed = {}
+
+    def poison(sim, ctx):
+        installed["san"] = Sanitizer(sim)
+
+    from repro.verbs.express import ExpressState
+    posts = []
+    orig_post, orig_batch = ExpressState.post, ExpressState.post_batch
+    with pytest.MonkeyPatch.context() as mp:
+        mp.setattr(ExpressState, "post",
+                   lambda self, *a, **k: (posts.append(1),
+                                          orig_post(self, *a, **k))[1])
+        mp.setattr(ExpressState, "post_batch",
+                   lambda self, *a, **k: (posts.append(1),
+                                          orig_batch(self, *a, **k))[1])
+        n_before = {}
+
+        def spy(sim, ctx):
+            n_before["n"] = len(posts)
+            poison(sim, ctx)
+
+        outcome, _, exp = _run_mix(5, express=True, poison=spy)
+    assert exp.on  # bypassed per-post, not poisoned
+    assert 0 < n_before["n"] == len(posts) < 120
+    assert len(outcome["log"]) == 120
+    assert {r[5] for r in outcome["log"]} == {
+        CompletionStatus.SUCCESS.value}
+    installed["san"].finalize()

@@ -70,6 +70,61 @@ def test_gate_trips_on_schedule_digest_change():
     assert any("digest" in f for f in failures)
 
 
+def _row(**over):
+    row = {"wall_s": 1.0, "events": 1000, "events_per_sec": 1000,
+           "digest": "a" * 64, "table_digest": "b" * 64,
+           "metrics": {"events_per_op": 10.0}}
+    row.update(over)
+    return row
+
+
+def test_gate_table_digest_change_always_fails():
+    baseline = {"format": 1, "scenarios": {"fig5": _row()}}
+    current = {"format": 1,
+               "scenarios": {"fig5": _row(table_digest="c" * 64)}}
+    failures = harness.check(baseline, current)
+    assert any("TABLE digest" in f for f in failures)
+    assert any("never a legitimate" in f for f in failures)
+
+
+def test_gate_schedule_digest_change_with_event_count_is_refreshable():
+    """An event-elision change (count moved, tables identical) fails the
+    stale baseline but points at perf-update, unlike a same-count
+    schedule change, which is flagged as a correctness problem."""
+    baseline = {"format": 1, "scenarios": {"fig5": _row()}}
+    elided = {"format": 1, "scenarios": {"fig5": _row(
+        digest="c" * 64, events=600, events_per_sec=1000)}}
+    failures = harness.check(baseline, elided)
+    assert any("perf-update" in f for f in failures)
+    assert not any("TABLE" in f for f in failures)
+
+    same_count = {"format": 1,
+                  "scenarios": {"fig5": _row(digest="c" * 64)}}
+    failures = harness.check(baseline, same_count)
+    assert any("schedule-preserving" in f for f in failures)
+
+
+def test_gate_trips_on_events_per_op_rise():
+    baseline = {"format": 1, "scenarios": {"fig5": _row()}}
+    worse = {"format": 1, "scenarios": {"fig5": _row(
+        metrics={"events_per_op": 10.5})}}
+    failures = harness.check(baseline, worse)
+    assert any("events/op rose" in f for f in failures)
+    # Within the rounding slack (or an improvement): no failure.
+    assert harness.check(baseline, {"format": 1, "scenarios": {
+        "fig5": _row(metrics={"events_per_op": 10.05})}}) == []
+    assert harness.check(baseline, {"format": 1, "scenarios": {
+        "fig5": _row(metrics={"events_per_op": 8.0})}}) == []
+
+
+def test_figure_scenario_carries_table_digest_and_events_per_op():
+    data = harness.run_scenarios(["fig5"])
+    row = data["scenarios"]["fig5"]
+    assert len(row["table_digest"]) == 64
+    assert row["table_digest"] != row["digest"]
+    assert row["metrics"]["events_per_op"] > 1.0
+
+
 def test_gate_passes_on_identical_runs():
     current = harness.run_scenarios(["engine_dispatch"])
     baseline = json.loads(json.dumps(current))
